@@ -1,0 +1,51 @@
+"""Shared infrastructure for the experiment benches.
+
+Every bench regenerates one table or figure of the paper (see DESIGN.md's
+experiment index). Output goes three ways: printed (visible with ``-s``),
+written to ``benchmarks/results/<id>.txt``, and CSV to
+``benchmarks/results/<id>.csv`` — so EXPERIMENTS.md can be refreshed from
+the files regardless of pytest's capture settings.
+
+The scaled 4MB and 8MB machines share identical private levels, so each
+workload's LLC stream is recorded once (under the 4MB context) and replayed
+against both LLC geometries.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.csvout import write_csv
+from repro.analysis.tables import render_table
+from repro.common.config import profile
+from repro.sim.experiment import shared_context
+
+BENCH_ACCESSES = 200_000
+BENCH_SEED = 42
+
+GEOMETRY_4MB = profile("scaled-4mb").llc
+GEOMETRY_8MB = profile("scaled-8mb").llc
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def context():
+    """The session-wide experiment context (streams recorded once)."""
+    return shared_context("scaled-4mb", BENCH_ACCESSES, BENCH_SEED)
+
+
+def emit(experiment_id, headers, rows, title, float_digits=4):
+    """Print and persist one experiment's table; returns the rendered text."""
+    text = render_table(headers, rows, float_digits=float_digits, title=title)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+    write_csv(RESULTS_DIR / f"{experiment_id}.csv", headers, rows)
+    return text
+
+
+def once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,49 @@
+"""F1 — Fraction of LLC hits served by shared vs. private blocks.
+
+Paper analogue (pinned qualitatively by the abstract): "quantifying the
+potential contributions of the shared and the private blocks toward the
+overall volume of the LLC hits ... the shared blocks are more important
+than the private blocks." One bar pair per application, at both LLC sizes,
+under LRU residencies.
+"""
+
+from benchmarks.conftest import GEOMETRY_4MB, GEOMETRY_8MB, emit, once
+from repro.analysis.aggregate import amean
+from repro.characterization.report import characterize_stream
+
+
+def test_f1_shared_vs_private_hit_fractions(benchmark, context):
+    def build_rows():
+        rows = []
+        for name in context.workload_list:
+            stream = context.artifacts(name).stream
+            row = [name]
+            for geometry in (GEOMETRY_4MB, GEOMETRY_8MB):
+                breakdown = characterize_stream(
+                    stream, geometry, track_phases=False
+                ).breakdown
+                row.extend([
+                    breakdown.shared_hit_fraction,
+                    1.0 - breakdown.shared_hit_fraction,
+                ])
+            rows.append(row)
+        return rows
+
+    rows = once(benchmark, build_rows)
+    rows.append([
+        "mean",
+        amean([r[1] for r in rows]), amean([r[2] for r in rows]),
+        amean([r[3] for r in rows]), amean([r[4] for r in rows]),
+    ])
+    emit(
+        "f1_hit_breakdown",
+        ["workload", "shared@4MB", "private@4MB", "shared@8MB", "private@8MB"],
+        rows,
+        title="[F1] Fraction of LLC hits served by shared vs private blocks (LRU)",
+    )
+
+    mean_row = rows[-1]
+    # Paper's motivating claim: shared blocks carry the majority of hits on
+    # average across the multi-threaded suites.
+    assert mean_row[1] > 0.5
+    assert mean_row[3] > 0.5

@@ -1,0 +1,45 @@
+"""F2 — Shared residency share vs. shared hit share (hit density).
+
+Paper analogue: the argument that shared blocks are *disproportionately*
+valuable — they are a minority of fills but earn a majority of hits. Plots
+per app: fraction of residencies that are shared, fraction of hits they
+serve, and the density ratio (hits/shared-residency over hits/residency).
+"""
+
+from benchmarks.conftest import GEOMETRY_4MB, emit, once
+from repro.characterization.report import characterize_stream
+
+
+def test_f2_shared_hit_density(benchmark, context):
+    def build_rows():
+        rows = []
+        for name in context.workload_list:
+            stream = context.artifacts(name).stream
+            breakdown = characterize_stream(
+                stream, GEOMETRY_4MB, track_phases=False
+            ).breakdown
+            rows.append([
+                name,
+                breakdown.shared_residency_fraction,
+                breakdown.shared_hit_fraction,
+                breakdown.hit_density_ratio,
+                breakdown.dead_fill_fraction,
+            ])
+        return rows
+
+    rows = once(benchmark, build_rows)
+    emit(
+        "f2_hit_density",
+        ["workload", "shared_res_frac", "shared_hit_frac", "density_ratio",
+         "dead_fill_frac"],
+        rows,
+        title="[F2] Shared residencies vs shared hits, 4MB LLC (density > 1 "
+              "means shared blocks out-earn their population)",
+    )
+
+    # Density must exceed 1 wherever there is any meaningful sharing.
+    sharing_heavy = {
+        row[0]: row[3] for row in rows if row[1] > 0.05 and row[2] > 0.3
+    }
+    assert sharing_heavy, "no sharing-heavy workloads found"
+    assert all(density >= 1.0 for density in sharing_heavy.values())

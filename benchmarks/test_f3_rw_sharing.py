@@ -1,0 +1,45 @@
+"""F3 — Read-only vs. read-write sharing breakdown.
+
+Paper analogue: decomposing the shared-block hits by whether the block was
+written during the residency — read-only sharing (instruction-like and
+lookup structures) responds to pure retention, while read-write sharing
+additionally involves coherence invalidations.
+"""
+
+from benchmarks.conftest import GEOMETRY_4MB, emit, once
+from repro.characterization.report import characterize_stream
+
+
+def test_f3_ro_vs_rw_shared_hits(benchmark, context):
+    def build_rows():
+        rows = []
+        for name in context.workload_list:
+            stream = context.artifacts(name).stream
+            breakdown = characterize_stream(
+                stream, GEOMETRY_4MB, track_phases=False
+            ).breakdown
+            rows.append([
+                name,
+                breakdown.shared_residencies,
+                breakdown.ro_shared_residencies,
+                breakdown.rw_shared_residencies,
+                breakdown.ro_fraction_of_shared_hits,
+                1.0 - breakdown.ro_fraction_of_shared_hits
+                if breakdown.shared_hits else 0.0,
+            ])
+        return rows
+
+    rows = once(benchmark, build_rows)
+    emit(
+        "f3_rw_sharing",
+        ["workload", "shared_res", "ro_res", "rw_res", "ro_hit_share",
+         "rw_hit_share"],
+        rows,
+        title="[F3] Read-only vs read-write shared residencies and hits (4MB)",
+    )
+
+    by_name = {row[0]: row for row in rows}
+    # Read-mostly apps vs write-sharing apps must separate.
+    assert by_name["streamcluster"][4] > 0.5       # RO-dominated
+    assert by_name["fluidanimate"][3] > 0          # migratory RW present
+    assert by_name["water"][3] > 0

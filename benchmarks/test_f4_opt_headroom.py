@@ -1,0 +1,46 @@
+"""F4 — Belady OPT headroom over LRU.
+
+Paper analogue: the optimal-policy reference that frames every replacement
+study — how many of LRU's misses *any* policy could remove. The oracle's
+sharing-specific gains (F6) live inside this envelope.
+"""
+
+from benchmarks.conftest import GEOMETRY_4MB, GEOMETRY_8MB, emit, once
+from repro.analysis.aggregate import amean
+from repro.sim.multipass import run_opt, run_policy_on_stream
+
+
+def test_f4_opt_miss_reduction_over_lru(benchmark, context):
+    def build_rows():
+        rows = []
+        for name in context.workload_list:
+            stream = context.artifacts(name).stream
+            row = [name]
+            for geometry in (GEOMETRY_4MB, GEOMETRY_8MB):
+                lru = run_policy_on_stream(stream, geometry, "lru")
+                opt = run_opt(stream, geometry)
+                row.extend([lru.miss_ratio, opt.miss_ratio,
+                            opt.miss_reduction_vs(lru)])
+            rows.append(row)
+        return rows
+
+    rows = once(benchmark, build_rows)
+    rows.append([
+        "mean", amean([r[1] for r in rows]), amean([r[2] for r in rows]),
+        amean([r[3] for r in rows]), amean([r[4] for r in rows]),
+        amean([r[5] for r in rows]), amean([r[6] for r in rows]),
+    ])
+    emit(
+        "f4_opt_headroom",
+        ["workload", "lru_mr@4MB", "opt_mr@4MB", "opt_red@4MB",
+         "lru_mr@8MB", "opt_mr@8MB", "opt_red@8MB"],
+        rows,
+        title="[F4] Belady OPT headroom over LRU",
+    )
+
+    mean_row = rows[-1]
+    # OPT never loses, and the headroom should be substantial on average
+    # (the paper's era reported 10-30% for multi-threaded suites).
+    per_app = rows[:-1]
+    assert all(row[3] >= -1e-9 and row[6] >= -1e-9 for row in per_app)
+    assert 0.05 < mean_row[3] < 0.6

@@ -1,0 +1,43 @@
+"""T1 — Workload characteristics table.
+
+Paper analogue: the standard per-application table listing the suites'
+access counts, footprints, and static sharing profile. Regenerated from the
+synthetic models with the bench trace budget.
+"""
+
+from benchmarks.conftest import emit, once
+
+
+def test_t1_workload_table(benchmark, context):
+    def build_rows():
+        rows = []
+        for name in context.workload_list:
+            artifacts = context.artifacts(name)
+            trace = artifacts.trace_stats
+            hier = artifacts.hierarchy_stats
+            rows.append([
+                name,
+                trace.num_accesses,
+                trace.num_threads,
+                round(trace.footprint_bytes / 1024),
+                trace.write_fraction,
+                trace.shared_block_fraction,
+                trace.shared_access_fraction,
+                hier.llc_accesses,
+                hier.llc_miss_ratio,
+            ])
+        return rows
+
+    rows = once(benchmark, build_rows)
+    emit(
+        "t1_workloads",
+        ["workload", "accesses", "threads", "footprint_kb", "write_frac",
+         "shared_blk_frac", "shared_acc_frac", "llc_accesses", "llc_mr"],
+        rows,
+        title="[T1] Workload characteristics (scaled machine, LRU recording)",
+    )
+    assert len(rows) == 19
+    # The suite must span the sharing spectrum the paper selects for.
+    shared_fractions = {row[0]: row[6] for row in rows}
+    assert shared_fractions["blackscholes"] < 0.1
+    assert shared_fractions["streamcluster"] > 0.5

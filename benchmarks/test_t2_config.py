@@ -1,0 +1,61 @@
+"""T2 — Simulated machine configuration table.
+
+Paper analogue: the simulation-parameters table. Also benchmarks the raw
+simulator throughput (accesses/second through the full hierarchy), the
+capacity number that governs every other bench's runtime.
+"""
+
+import time
+
+from benchmarks.conftest import emit, once
+from repro.cache.hierarchy import CmpHierarchy
+from repro.common.config import PROFILE_NAMES, profile
+from repro.policies.lru import LruPolicy
+from repro.workloads.registry import get_workload
+
+
+def test_t2_machine_configurations(benchmark, context):
+    def build_rows():
+        rows = []
+        for name in PROFILE_NAMES:
+            machine = profile(name)
+            rows.append([
+                name,
+                machine.num_cores,
+                machine.l1.describe(),
+                machine.l2.describe(),
+                machine.llc.describe(),
+                f"1/{machine.scale}" if machine.scale != 1 else "full",
+            ])
+        return rows
+
+    rows = once(benchmark, build_rows)
+    emit(
+        "t2_config",
+        ["profile", "cores", "L1D/core", "L2/core", "shared LLC", "scale"],
+        rows,
+        title="[T2] Machine configurations (paper: 8-core CMP, 4MB/8MB LLC)",
+    )
+    assert len(rows) == 4
+
+
+def test_t2_simulator_throughput(benchmark, context):
+    trace = get_workload("dedup").generate(
+        num_threads=8, scale=16, target_accesses=50_000, seed=7
+    )
+
+    def run_hierarchy():
+        hierarchy = CmpHierarchy(context.machine, LruPolicy())
+        start = time.perf_counter()
+        hierarchy.run(trace)
+        elapsed = time.perf_counter() - start
+        return len(trace) / elapsed
+
+    rate = once(benchmark, run_hierarchy)
+    emit(
+        "t2_throughput",
+        ["metric", "value"],
+        [["hierarchy accesses/sec", int(rate)]],
+        title="[T2b] Simulator throughput",
+    )
+    assert rate > 10_000

@@ -1,0 +1,68 @@
+"""T3 — Fill-time sharing predictability (the paper's negative result).
+
+Paper (pinned qualitatively): "Our sharing behavior predictability study of
+two history-based fill-time predictors that use block addresses and program
+counters concludes that achieving acceptable levels of accuracy with such
+predictors will require other architectural and/or high-level program
+semantic features."
+
+Regenerates per-app accuracy/precision/recall/coverage for the address- and
+PC-indexed predictors (plus the hybrid), trained online against LRU
+residencies at the 4MB LLC.
+"""
+
+from benchmarks.conftest import GEOMETRY_4MB, emit, once
+from repro.analysis.aggregate import amean
+from repro.predictors.harness import PredictorHarness
+from repro.predictors.registry import make_predictor
+from repro.sim.multipass import run_policy_on_stream
+
+PREDICTORS = ("address", "pc", "hybrid")
+
+
+def test_t3_predictor_accuracy(benchmark, context):
+    def build_rows():
+        rows = []
+        for name in context.workload_list:
+            stream = context.artifacts(name).stream
+            for predictor_name in PREDICTORS:
+                predictor = make_predictor(predictor_name)
+                harness = PredictorHarness(predictor)
+                run_policy_on_stream(
+                    stream, GEOMETRY_4MB, "lru", observers=(harness,)
+                )
+                matrix = harness.matrix
+                rows.append([
+                    f"{name}/{predictor_name}",
+                    matrix.total,
+                    matrix.base_rate,
+                    matrix.accuracy,
+                    matrix.precision,
+                    matrix.recall,
+                    matrix.coverage,
+                ])
+        return rows
+
+    rows = once(benchmark, build_rows)
+    emit(
+        "t3_predictor_accuracy",
+        ["workload/predictor", "fills", "base_rate", "accuracy", "precision",
+         "recall", "coverage"],
+        rows,
+        title="[T3] Fill-time sharing predictors: online accuracy vs LRU "
+              "ground truth (4MB)",
+    )
+
+    # The negative result, on the apps where prediction actually matters
+    # (non-trivial base rate): accuracy must not be much better than the
+    # trivial majority-class predictor, and recall of sharing stays poor.
+    interesting = [row for row in rows if 0.15 < row[2] < 0.85]
+    assert interesting, "no workloads with non-trivial sharing base rate"
+    advantages = []
+    recalls = []
+    for row in interesting:
+        majority = max(row[2], 1 - row[2])
+        advantages.append(row[3] - majority)
+        recalls.append(row[5])
+    assert amean(advantages) < 0.10
+    assert amean(recalls) < 0.75

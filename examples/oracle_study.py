@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Reproduce the paper's headline result: the sharing-oracle gains.
+
+For every application, measures the LLC miss reduction the generic
+sharing oracle achieves over LRU at both the 4MB and the 8MB machine (the
+paper reports 6% and 10% on average), and demonstrates composing the same
+oracle with a different base policy (SRRIP).
+
+Run:  python examples/oracle_study.py [--accesses N]
+"""
+
+import argparse
+
+from repro import ExperimentContext, profile, workload_names
+from repro.analysis.aggregate import append_summary_rows
+from repro.analysis.tables import render_table
+from repro.oracle.runner import run_oracle_study
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--accesses", type=int, default=100_000)
+    args = parser.parse_args()
+
+    # The two machines share private caches, so one recorded stream per
+    # workload serves both LLC geometries.
+    context = ExperimentContext(profile("scaled-4mb"),
+                                target_accesses=args.accesses)
+    geometry_4mb = profile("scaled-4mb").llc
+    geometry_8mb = profile("scaled-8mb").llc
+
+    rows = []
+    for name in workload_names():
+        stream = context.artifacts(name).stream
+        study_4mb = run_oracle_study(stream, geometry_4mb, base="lru")
+        study_8mb = run_oracle_study(stream, geometry_8mb, base="lru")
+        srrip_8mb = run_oracle_study(stream, geometry_8mb, base="srrip")
+        rows.append([
+            name,
+            study_4mb.base.miss_ratio,
+            study_4mb.miss_reduction,
+            study_8mb.base.miss_ratio,
+            study_8mb.miss_reduction,
+            srrip_8mb.miss_reduction,
+        ])
+        print(f"  studied {name}")
+
+    append_summary_rows(rows, numeric_columns=[1, 2, 3, 4, 5])
+    print()
+    print(render_table(
+        ["workload", "lru_mr@4MB", "oracle_gain@4MB", "lru_mr@8MB",
+         "oracle_gain@8MB", "oracle(srrip)@8MB"],
+        rows,
+        title="Sharing-oracle miss reductions (paper: 6% @4MB, 10% @8MB avg)",
+    ))
+    mean = rows[-1]
+    print()
+    print(f"Average oracle gain: {mean[2]:.1%} at 4MB, {mean[4]:.1%} at 8MB "
+          f"(paper: 6% and 10%). Gains concentrate in sharing-heavy apps and "
+          f"grow with capacity.")
+    if args.accesses < 200_000:
+        print("Note: short traces understate the gains (few residencies see "
+              "their cross-core reuse); the benches use 200k accesses.")
+
+
+if __name__ == "__main__":
+    main()

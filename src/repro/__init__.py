@@ -1,0 +1,64 @@
+"""repro — sharing-aware last-level cache replacement (IISWC 2013).
+
+A full reproduction of Natarajan & Chaudhuri, "Characterizing
+multi-threaded applications for designing sharing-aware last-level cache
+replacement policies" (IISWC 2013): synthetic multi-threaded workload
+models for PARSEC / SPLASH-2 / SPEC OMP, a functional CMP cache-hierarchy
+simulator with coherent private levels and a shared inclusive LLC, the full
+replacement-policy zoo (LRU through SHiP and Belady's OPT), the paper's
+generic fill-time sharing oracle, and the address-/PC-indexed sharing
+predictors of its predictability study.
+
+Quickstart::
+
+    from repro import ExperimentContext, profile
+
+    ctx = ExperimentContext(profile("scaled-4mb"))
+    report = ctx.characterize("streamcluster")
+    print(report.breakdown.shared_hit_fraction)
+    study = ctx.oracle_study("streamcluster", base="lru")
+    print(study.miss_reduction)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+per-figure reproduction log.
+"""
+
+from repro.common.config import (
+    CacheGeometry,
+    MachineConfig,
+    PROFILE_NAMES,
+    full_4mb,
+    full_8mb,
+    profile,
+    scaled_4mb,
+    scaled_8mb,
+)
+from repro.oracle.runner import OracleStudyResult, run_oracle_study
+from repro.sim.experiment import ExperimentContext, WorkloadArtifacts, shared_context
+from repro.sim.multipass import record_llc_stream, run_opt, run_policy_on_stream
+from repro.workloads.registry import get_workload, iter_workloads, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheGeometry",
+    "MachineConfig",
+    "PROFILE_NAMES",
+    "full_4mb",
+    "full_8mb",
+    "profile",
+    "scaled_4mb",
+    "scaled_8mb",
+    "OracleStudyResult",
+    "run_oracle_study",
+    "record_llc_stream",
+    "run_opt",
+    "run_policy_on_stream",
+    "ExperimentContext",
+    "WorkloadArtifacts",
+    "shared_context",
+    "get_workload",
+    "iter_workloads",
+    "workload_names",
+    "__version__",
+]

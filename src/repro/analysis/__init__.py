@@ -1,0 +1,26 @@
+"""Reporting helpers: ASCII tables, CSV export, aggregation, figure series."""
+
+from repro.analysis.tables import format_cell, render_table
+from repro.analysis.csvout import write_csv
+from repro.analysis.aggregate import (
+    amean,
+    append_group_means,
+    append_summary_rows,
+    gmean_speedups,
+)
+from repro.analysis.mrc import MissRatioCurve, compute_mrc
+from repro.analysis.series import FigureSeries, render_series
+
+__all__ = [
+    "format_cell",
+    "render_table",
+    "write_csv",
+    "amean",
+    "append_group_means",
+    "append_summary_rows",
+    "gmean_speedups",
+    "MissRatioCurve",
+    "compute_mrc",
+    "FigureSeries",
+    "render_series",
+]

@@ -1,0 +1,66 @@
+"""Aggregation helpers for per-workload result tables."""
+
+from typing import Callable, List, Sequence
+
+from repro.common.stats import geometric_mean, safe_div
+
+
+def amean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for empty input)."""
+    return safe_div(sum(values), len(values), 0.0)
+
+
+def gmean_speedups(values: Sequence[float]) -> float:
+    """Geometric mean of ratio-like values (must be positive)."""
+    return geometric_mean(values)
+
+
+def append_summary_rows(
+    rows: List[List],
+    numeric_columns: Sequence[int],
+    label: str = "mean",
+) -> List[List]:
+    """Append an arithmetic-mean row over ``numeric_columns``.
+
+    Non-numeric columns of the summary row are blanked; column 0 receives
+    ``label``. Returns ``rows`` for chaining.
+    """
+    if not rows:
+        return rows
+    summary: List = [""] * len(rows[0])
+    summary[0] = label
+    for col in numeric_columns:
+        summary[col] = amean([row[col] for row in rows])
+    rows.append(summary)
+    return rows
+
+
+def append_group_means(
+    rows: List[List],
+    numeric_columns: Sequence[int],
+    group_of: Callable[[str], str],
+    label_prefix: str = "mean/",
+) -> List[List]:
+    """Append one arithmetic-mean row per group (the paper's per-suite rows).
+
+    Groups are derived from each row's first column via ``group_of`` (e.g.
+    workload name -> suite), preserved in first-appearance order. Returns
+    ``rows`` for chaining.
+    """
+    if not rows:
+        return rows
+    groups: List[str] = []
+    members = {}
+    for row in rows:
+        group = group_of(row[0])
+        if group not in members:
+            groups.append(group)
+            members[group] = []
+        members[group].append(row)
+    for group in groups:
+        summary: List = [""] * len(rows[0])
+        summary[0] = f"{label_prefix}{group}"
+        for col in numeric_columns:
+            summary[col] = amean([row[col] for row in members[group]])
+        rows.append(summary)
+    return rows

@@ -1,0 +1,21 @@
+"""CSV export of result tables."""
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+
+def write_csv(
+    path: Union[str, Path],
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+) -> Path:
+    """Write ``rows`` under ``headers`` to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)
+    return path

@@ -1,0 +1,83 @@
+"""Miss-ratio curves (MRC) from a single profiling pass.
+
+Uses the Mattson stack-distance histogram of an LLC stream to produce the
+fully-associative LRU miss ratio at *every* capacity at once — the
+one-pass alternative to simulating each size. Set-associative LRU tracks
+the fully-associative curve closely at the paper's 16-way associativity, so
+the MRC serves as an independent cross-check of the simulator (tested) and
+as the cheap scout for capacity sweeps (F7).
+"""
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.cache.stream import LlcStream
+from repro.characterization.reuse import ReuseDistanceProfiler
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MissRatioCurve:
+    """A monotone non-increasing miss-ratio curve over block capacities."""
+
+    stream_name: str
+    accesses: int
+    points: Tuple[Tuple[int, float], ...]  # (capacity_blocks, miss_ratio)
+
+    def miss_ratio_at(self, capacity_blocks: int) -> float:
+        """Miss ratio at one of the computed capacities.
+
+        Raises:
+            ConfigError: if the capacity was not part of the sweep.
+        """
+        for capacity, miss_ratio in self.points:
+            if capacity == capacity_blocks:
+                return miss_ratio
+        raise ConfigError(
+            f"capacity {capacity_blocks} not in curve "
+            f"({[c for c, __ in self.points]})"
+        )
+
+    def knee_capacity(self, threshold: float = 0.5) -> int:
+        """Smallest computed capacity whose miss ratio is below ``threshold``.
+
+        Returns the largest capacity when none qualifies — a capacity-bound
+        stream whose working set exceeds the sweep.
+        """
+        for capacity, miss_ratio in self.points:
+            if miss_ratio < threshold:
+                return capacity
+        return self.points[-1][0]
+
+
+def compute_mrc(
+    stream: LlcStream,
+    capacities_blocks: Sequence[int],
+    max_depth: int = 1 << 17,
+) -> MissRatioCurve:
+    """Profile ``stream`` once and evaluate the LRU MRC at each capacity.
+
+    Args:
+        stream: recorded LLC demand stream.
+        capacities_blocks: capacities (in blocks) to evaluate, any order.
+        max_depth: stack-depth cap; must cover the largest capacity.
+
+    Raises:
+        ConfigError: on an empty capacity list or one exceeding the depth.
+    """
+    capacities = sorted(set(capacities_blocks))
+    if not capacities:
+        raise ConfigError("need at least one capacity")
+    if capacities[-1] > max_depth:
+        raise ConfigError(
+            f"largest capacity {capacities[-1]} exceeds max_depth {max_depth}"
+        )
+    profiler = ReuseDistanceProfiler(max_depth=max_depth)
+    for block in stream.blocks:
+        profiler.access(block)
+    points: List[Tuple[int, float]] = [
+        (capacity, profiler.miss_ratio_at(capacity)) for capacity in capacities
+    ]
+    return MissRatioCurve(
+        stream_name=stream.name, accesses=len(stream), points=tuple(points)
+    )

@@ -1,0 +1,62 @@
+"""Figure-series containers.
+
+A paper figure is a set of named series over a shared x-axis (workloads on
+the x-axis, one bar/line per configuration). :class:`FigureSeries` holds
+that structure; :func:`render_series` prints it as the table the benches
+emit (x values as rows, series as columns).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.analysis.tables import render_table
+
+
+@dataclass
+class FigureSeries:
+    """Data behind one figure: x labels plus named y-series."""
+
+    figure_id: str
+    x_label: str
+    x_values: List[str] = field(default_factory=list)
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add_point(self, x_value: str, series_name: str, y: float) -> None:
+        """Append one (x, y) point to ``series_name``.
+
+        X values are created on first use and must arrive in the same order
+        for every series (each series must be as long as the x-axis when
+        rendered).
+        """
+        if x_value not in self.x_values:
+            self.x_values.append(x_value)
+        self.series.setdefault(series_name, []).append(y)
+
+    def column(self, series_name: str) -> List[float]:
+        """One series' y-values."""
+        return self.series[series_name]
+
+    def validate(self) -> None:
+        """Check every series covers the full x-axis.
+
+        Raises:
+            ValueError: on a ragged series.
+        """
+        for name, values in self.series.items():
+            if len(values) != len(self.x_values):
+                raise ValueError(
+                    f"series {name!r} has {len(values)} points for "
+                    f"{len(self.x_values)} x-values"
+                )
+
+
+def render_series(figure: FigureSeries, float_digits: int = 4) -> str:
+    """Render a figure's series as an aligned table."""
+    figure.validate()
+    headers = [figure.x_label, *figure.series.keys()]
+    rows = [
+        [x, *(figure.series[name][i] for name in figure.series)]
+        for i, x in enumerate(figure.x_values)
+    ]
+    return render_table(headers, rows, float_digits=float_digits,
+                        title=f"[{figure.figure_id}]")

@@ -1,0 +1,56 @@
+"""Plain-text table rendering for bench and CLI output.
+
+Tables render in GitHub-markdown-compatible form so bench output can be
+pasted straight into EXPERIMENTS.md.
+"""
+
+from typing import Iterable, List, Sequence
+
+
+def format_cell(value, float_digits: int = 4) -> str:
+    """Render one cell: floats fixed-precision, everything else ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    float_digits: int = 4,
+    title: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned markdown table.
+
+    The first column is left-aligned (labels); the rest right-aligned
+    (numbers).
+    """
+    text_rows: List[List[str]] = [
+        [format_cell(cell, float_digits) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        padded = [
+            cells[0].ljust(widths[0]),
+            *(cell.rjust(widths[i + 1]) for i, cell in enumerate(cells[1:])),
+        ]
+        return "| " + " | ".join(padded) + " |"
+
+    rule = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append(rule)
+    lines.extend(fmt(row) for row in text_rows)
+    return "\n".join(lines)

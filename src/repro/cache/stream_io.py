@@ -1,0 +1,87 @@
+"""Binary file format for recorded LLC streams.
+
+Mirrors ``repro.trace.io``'s layout with its own magic so the two artifact
+kinds cannot be confused:
+
+    magic    4 bytes  b"RLLC"
+    version  u32      currently 1
+    count    u64      number of accesses
+    ncores   u32      number of cores (informational)
+    namelen  u32      UTF-8 name length
+    name     bytes
+    columns  cores as i8[count], pcs as i64[count],
+             blocks as i64[count], writes as i8[count]
+
+Paths ending in ``.gz`` are gzip-compressed. Recording a stream costs a
+full hierarchy pass; persisting it lets sweeps and reruns skip straight to
+replay.
+"""
+
+import gzip
+import struct
+from array import array
+from pathlib import Path
+from typing import Union
+
+from repro.cache.stream import LlcStream
+from repro.common.errors import TraceError
+
+_MAGIC = b"RLLC"
+_VERSION = 1
+_HEADER = struct.Struct("<4sIQII")
+
+
+def _open(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode)
+    return open(path, mode)
+
+
+def write_llc_stream(stream: LlcStream, path: Union[str, Path]) -> None:
+    """Serialise ``stream`` to ``path`` (gzip when the name ends in .gz)."""
+    path = Path(path)
+    name_bytes = stream.name.encode("utf-8")
+    cores, pcs, blocks, writes = stream.columns()
+    with _open(path, "wb") as handle:
+        handle.write(_HEADER.pack(
+            _MAGIC, _VERSION, len(stream), stream.num_cores, len(name_bytes)
+        ))
+        handle.write(name_bytes)
+        handle.write(cores.tobytes())
+        handle.write(pcs.tobytes())
+        handle.write(blocks.tobytes())
+        handle.write(writes.tobytes())
+
+
+def read_llc_stream(path: Union[str, Path]) -> LlcStream:
+    """Load a stream written by :func:`write_llc_stream`.
+
+    Raises:
+        TraceError: on a bad magic number, unsupported version, or a
+            truncated file.
+    """
+    path = Path(path)
+    with _open(path, "rb") as handle:
+        header = handle.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise TraceError(f"{path}: truncated header")
+        magic, version, count, __, namelen = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise TraceError(f"{path}: bad magic {magic!r} (not an LLC stream)")
+        if version != _VERSION:
+            raise TraceError(f"{path}: unsupported version {version}")
+        name = handle.read(namelen).decode("utf-8")
+
+        def load(typecode: str, item_size: int) -> array:
+            column = array(typecode)
+            blob = handle.read(count * item_size)
+            if len(blob) != count * item_size:
+                raise TraceError(f"{path}: truncated column ({typecode})")
+            column.frombytes(blob)
+            return column
+
+        cores = load("b", 1)
+        pcs = load("q", 8)
+        blocks = load("q", 8)
+        writes = load("b", 1)
+    return LlcStream(cores, pcs, blocks, writes, name=name)

@@ -1,0 +1,111 @@
+"""Shared-vs-private residency classification and hit accounting.
+
+Definitions (paper section 2): a block is **shared in a residency** when at
+least two distinct cores issue demand accesses to it between its fill and
+its eviction; otherwise the residency is **private**. A shared residency is
+**read-only shared** when no core wrote during it, else **read-write
+shared**. Hits are attributed to the classification of the residency that
+served them.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.cache.llc import ResidencyObserver
+from repro.common.stats import ratio
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits (sharer count of a core mask)."""
+    return bin(mask).count("1")
+
+
+@dataclass
+class HitBreakdown:
+    """Aggregated residency/hit statistics of one simulated LLC run."""
+
+    residencies: int = 0
+    shared_residencies: int = 0
+    ro_shared_residencies: int = 0
+    rw_shared_residencies: int = 0
+    hits: int = 0
+    shared_hits: int = 0
+    ro_shared_hits: int = 0
+    rw_shared_hits: int = 0
+    dead_residencies: int = 0
+    dead_private_residencies: int = 0
+    degree_residencies: Dict[int, int] = field(default_factory=dict)
+    degree_hits: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def private_residencies(self) -> int:
+        """Residencies touched by exactly one core."""
+        return self.residencies - self.shared_residencies
+
+    @property
+    def private_hits(self) -> int:
+        """Hits served by private residencies."""
+        return self.hits - self.shared_hits
+
+    @property
+    def shared_residency_fraction(self) -> float:
+        """Fraction of residencies that were shared (F2 x-series)."""
+        return ratio(self.shared_residencies, self.residencies)
+
+    @property
+    def shared_hit_fraction(self) -> float:
+        """Fraction of LLC hits served by shared residencies (F1)."""
+        return ratio(self.shared_hits, self.hits)
+
+    @property
+    def hit_density_ratio(self) -> float:
+        """Hits-per-shared-residency over hits-per-residency (F2).
+
+        Values above 1 mean shared blocks earn a disproportionate share of
+        hits — the paper's motivation for protecting them.
+        """
+        overall = ratio(self.hits, self.residencies)
+        shared = ratio(self.shared_hits, self.shared_residencies)
+        return ratio(shared, overall)
+
+    @property
+    def ro_fraction_of_shared_hits(self) -> float:
+        """Read-only share of the shared-residency hits (F3)."""
+        return ratio(self.ro_shared_hits, self.shared_hits)
+
+    @property
+    def dead_fill_fraction(self) -> float:
+        """Fraction of residencies that never produced a hit."""
+        return ratio(self.dead_residencies, self.residencies)
+
+
+class SharingClassifier(ResidencyObserver):
+    """Observer accumulating a :class:`HitBreakdown`."""
+
+    def __init__(self):
+        self.breakdown = HitBreakdown()
+
+    def residency_ended(
+        self, block, set_index, fill_ordinal, end_ordinal, fill_pc, fill_core,
+        core_mask, write_mask, hits, other_hits, forced,
+    ) -> None:
+        b = self.breakdown
+        b.residencies += 1
+        b.hits += hits
+        degree = popcount(core_mask)
+        b.degree_residencies[degree] = b.degree_residencies.get(degree, 0) + 1
+        b.degree_hits[degree] = b.degree_hits.get(degree, 0) + hits
+        shared = degree >= 2
+        if shared:
+            b.shared_residencies += 1
+            b.shared_hits += hits
+            if write_mask:
+                b.rw_shared_residencies += 1
+                b.rw_shared_hits += hits
+            else:
+                b.ro_shared_residencies += 1
+                b.ro_shared_hits += hits
+        if hits == 0:
+            b.dead_residencies += 1
+            if not shared:
+                b.dead_private_residencies += 1

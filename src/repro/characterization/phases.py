@@ -1,0 +1,130 @@
+"""Temporal stability of per-block sharing behaviour.
+
+A fill-time history predictor indexed by block address implicitly assumes a
+block's next residency repeats its last residency's behaviour. This
+observer measures exactly that assumption: the Markov transition counts of
+the shared/private bit across a block's *consecutive* residencies, plus how
+many blocks ever exhibit both behaviours. Low self-transition probability
+(short "sharing phases") is the mechanism behind the paper's negative
+predictability result.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cache.llc import ResidencyObserver
+from repro.characterization.hits import popcount
+from repro.common.stats import ratio
+
+
+@dataclass
+class PhaseStats:
+    """Sharing-bit transition statistics across consecutive residencies."""
+
+    shared_to_shared: int = 0
+    shared_to_private: int = 0
+    private_to_shared: int = 0
+    private_to_private: int = 0
+    blocks_always_shared: int = 0
+    blocks_always_private: int = 0
+    blocks_bimodal: int = 0
+    single_residency_blocks: int = 0
+
+    @property
+    def transitions(self) -> int:
+        """Total consecutive-residency pairs observed."""
+        return (
+            self.shared_to_shared
+            + self.shared_to_private
+            + self.private_to_shared
+            + self.private_to_private
+        )
+
+    @property
+    def p_shared_given_shared(self) -> float:
+        """P(next residency shared | last residency shared)."""
+        return ratio(
+            self.shared_to_shared, self.shared_to_shared + self.shared_to_private
+        )
+
+    @property
+    def p_private_given_private(self) -> float:
+        """P(next residency private | last residency private)."""
+        return ratio(
+            self.private_to_private, self.private_to_private + self.private_to_shared
+        )
+
+    @property
+    def last_value_accuracy(self) -> float:
+        """Accuracy of the ideal 'predict last residency's bit' predictor.
+
+        This upper-bounds any per-block one-bit history predictor — an
+        address-indexed table can at best remember the last outcome without
+        aliasing, so this number caps T3's address predictor.
+        """
+        correct = self.shared_to_shared + self.private_to_private
+        return ratio(correct, self.transitions)
+
+    @property
+    def bimodal_block_fraction(self) -> float:
+        """Fraction of multi-residency blocks that flip behaviour at least once."""
+        multi = (
+            self.blocks_always_shared + self.blocks_always_private + self.blocks_bimodal
+        )
+        return ratio(self.blocks_bimodal, multi)
+
+
+class SharingPhaseTracker(ResidencyObserver):
+    """Observer accumulating :class:`PhaseStats`.
+
+    Keeps two bits per distinct block (last outcome, flipped-ever) plus a
+    residency count; memory is proportional to the block footprint.
+    """
+
+    _UNSEEN = -1
+
+    def __init__(self):
+        self._last: Dict[int, int] = {}
+        self._count: Dict[int, int] = {}
+        self._flipped: Dict[int, bool] = {}
+        self.stats = PhaseStats()
+
+    def residency_ended(
+        self, block, set_index, fill_ordinal, end_ordinal, fill_pc, fill_core,
+        core_mask, write_mask, hits, other_hits, forced,
+    ) -> None:
+        shared = 1 if popcount(core_mask) >= 2 else 0
+        stats = self.stats
+        last = self._last.get(block, self._UNSEEN)
+        if last != self._UNSEEN:
+            if last and shared:
+                stats.shared_to_shared += 1
+            elif last and not shared:
+                stats.shared_to_private += 1
+            elif shared:
+                stats.private_to_shared += 1
+            else:
+                stats.private_to_private += 1
+            if last != shared:
+                self._flipped[block] = True
+        self._last[block] = shared
+        self._count[block] = self._count.get(block, 0) + 1
+
+    def finalize(self) -> PhaseStats:
+        """Fold per-block summaries into the stats; call after the run."""
+        stats = self.stats
+        stats.blocks_always_shared = 0
+        stats.blocks_always_private = 0
+        stats.blocks_bimodal = 0
+        stats.single_residency_blocks = 0
+        for block, count in self._count.items():
+            if count == 1:
+                stats.single_residency_blocks += 1
+                continue
+            if self._flipped.get(block):
+                stats.blocks_bimodal += 1
+            elif self._last[block]:
+                stats.blocks_always_shared += 1
+            else:
+                stats.blocks_always_private += 1
+        return stats

@@ -1,0 +1,59 @@
+"""One-call characterization of a recorded LLC stream.
+
+Bundles the classifier and phase tracker into a single replay under a
+chosen policy and returns everything the characterization figures need.
+"""
+
+from dataclasses import dataclass
+
+from repro.cache.stream import LlcStream
+from repro.characterization.hits import HitBreakdown, SharingClassifier
+from repro.characterization.phases import PhaseStats, SharingPhaseTracker
+from repro.common.config import CacheGeometry
+from repro.policies.registry import make_policy
+from repro.sim.results import LlcSimResult
+
+
+@dataclass(frozen=True)
+class CharacterizationReport:
+    """Everything one characterization replay produces."""
+
+    result: LlcSimResult
+    breakdown: HitBreakdown
+    phases: PhaseStats
+
+
+def characterize_stream(
+    stream: LlcStream,
+    geometry: CacheGeometry,
+    policy_name: str = "lru",
+    seed: int = 0,
+    track_phases: bool = True,
+) -> CharacterizationReport:
+    """Replay ``stream`` under ``policy_name`` with characterization attached.
+
+    Args:
+        stream: recorded LLC demand stream.
+        geometry: LLC geometry for the replay.
+        policy_name: replacement policy governing residencies.
+        seed: seed for stochastic policies.
+        track_phases: also collect per-block phase statistics (costs memory
+            proportional to the block footprint).
+    """
+    # Imported here rather than at module level: repro.sim.experiment
+    # imports this module, and pulling the engine in lazily keeps the
+    # package import graph acyclic whichever package is imported first.
+    from repro.sim.engine import LlcOnlySimulator
+
+    classifier = SharingClassifier()
+    observers = [classifier]
+    phase_tracker = SharingPhaseTracker() if track_phases else None
+    if phase_tracker is not None:
+        observers.append(phase_tracker)
+    policy = make_policy(policy_name, seed=seed)
+    simulator = LlcOnlySimulator(geometry, policy, observers=tuple(observers))
+    result = simulator.run(stream)
+    phases = phase_tracker.finalize() if phase_tracker is not None else PhaseStats()
+    return CharacterizationReport(
+        result=result, breakdown=classifier.breakdown, phases=phases
+    )

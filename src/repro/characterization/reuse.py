@@ -1,0 +1,81 @@
+"""LRU stack-distance (reuse-distance) profiling of LLC streams.
+
+The Mattson stack algorithm: keep all blocks in recency order; the reuse
+distance of an access is the number of *distinct* blocks touched since the
+previous access to the same block (its depth in the stack). The histogram
+yields the miss count of a fully-associative LRU cache of any capacity in
+one profiling pass — used as an independent cross-check of the simulator
+and to anchor the F7 capacity sweep.
+
+The stack is depth-capped: distances beyond ``max_depth`` are lumped into
+the cold/far bucket, keeping profiling O(n * max_depth) worst case while
+remaining exact for every capacity of interest (<= max_depth blocks).
+"""
+
+from typing import Dict, List, Sequence
+
+from repro.common.errors import ConfigError
+from repro.common.stats import ratio
+
+
+class ReuseDistanceProfiler:
+    """Streaming stack-distance histogram."""
+
+    FAR = -1
+    """Histogram key for cold misses and distances beyond ``max_depth``."""
+
+    def __init__(self, max_depth: int = 1 << 16):
+        if max_depth <= 0:
+            raise ConfigError(f"max_depth must be positive, got {max_depth}")
+        self.max_depth = max_depth
+        self._stack: List[int] = []  # MRU at index 0
+        self._resident = set()
+        self.histogram: Dict[int, int] = {}
+        self.accesses = 0
+
+    def access(self, block: int) -> int:
+        """Record one access; returns its stack distance (FAR if cold/deep)."""
+        self.accesses += 1
+        stack = self._stack
+        if block in self._resident:
+            distance = stack.index(block)
+            stack.pop(distance)
+            stack.insert(0, block)
+            if distance >= self.max_depth:
+                distance = self.FAR
+        else:
+            distance = self.FAR
+            self._resident.add(block)
+            stack.insert(0, block)
+            if len(stack) > self.max_depth:
+                dropped = stack.pop()
+                self._resident.discard(dropped)
+        self.histogram[distance] = self.histogram.get(distance, 0) + 1
+        return distance
+
+    def profile(self, blocks: Sequence[int]) -> "ReuseDistanceProfiler":
+        """Profile a whole block sequence; returns self for chaining."""
+        for block in blocks:
+            self.access(block)
+        return self
+
+    def misses_at(self, capacity_blocks: int) -> int:
+        """Miss count of a fully-associative LRU cache of that capacity.
+
+        Raises:
+            ConfigError: when the capacity exceeds the profiled depth (the
+                histogram cannot distinguish distances past ``max_depth``).
+        """
+        if capacity_blocks > self.max_depth:
+            raise ConfigError(
+                f"capacity {capacity_blocks} exceeds profiled depth {self.max_depth}"
+            )
+        missing = self.histogram.get(self.FAR, 0)
+        for distance, count in self.histogram.items():
+            if distance != self.FAR and distance >= capacity_blocks:
+                missing += count
+        return missing
+
+    def miss_ratio_at(self, capacity_blocks: int) -> float:
+        """Miss ratio of a fully-associative LRU cache of that capacity."""
+        return ratio(self.misses_at(capacity_blocks), self.accesses)

@@ -1,0 +1,376 @@
+"""Command-line interface: ``repro-sim``.
+
+Subcommands mirror the paper's studies:
+
+* ``characterize`` — shared/private hit breakdown per workload (F1-F3)
+* ``compare``      — policy shoot-out incl. OPT on identical streams (F4/F5)
+* ``oracle``       — sharing-oracle gains over a base policy (F6)
+* ``predict``      — fill-time predictor accuracy study (T3)
+* ``sweep``        — oracle gain vs LLC capacity (F7)
+* ``phases``       — per-block sharing stability and PC ambiguity (F9/T4)
+* ``mix``          — sharing-oracle on a multi-programmed mix (F10)
+* ``record``       — record a workload's LLC stream to a file
+* ``replay``       — replay a recorded stream under chosen policies
+* ``list``         — available workloads, policies, profiles
+
+Examples::
+
+    repro-sim characterize --profile scaled-4mb --workloads streamcluster
+    repro-sim oracle --base lru --profile scaled-8mb
+    repro-sim predict --predictors address pc hybrid
+"""
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.aggregate import append_group_means, append_summary_rows
+from repro.analysis.tables import render_table
+from repro.common.config import PROFILE_NAMES
+from repro.policies.registry import POLICY_NAMES
+from repro.predictors.registry import PREDICTOR_NAMES, make_predictor
+from repro.predictors.harness import PredictorHarness
+from repro.sim.experiment import ExperimentContext, shared_context
+from repro.sim.multipass import run_policy_on_stream
+from repro.workloads.registry import workload_names
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", default="scaled-4mb", choices=PROFILE_NAMES,
+        help="machine profile (default: scaled-4mb)",
+    )
+    parser.add_argument(
+        "--workloads", nargs="*", default=None, metavar="NAME",
+        help="workload subset (default: all)",
+    )
+    parser.add_argument(
+        "--accesses", type=int, default=300_000,
+        help="per-workload access budget (default: 300000)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="base seed")
+
+
+def _context(args) -> ExperimentContext:
+    context = shared_context(args.profile, args.accesses, args.seed)
+    if args.workloads:
+        unknown = set(args.workloads) - set(workload_names())
+        if unknown:
+            raise SystemExit(f"unknown workloads: {sorted(unknown)}")
+        context.workload_list = list(args.workloads)
+    return context
+
+
+def cmd_list(args) -> int:
+    print("workloads :", ", ".join(workload_names()))
+    print("policies  :", ", ".join(POLICY_NAMES), "(+ opt via compare --opt)")
+    print("predictors:", ", ".join(PREDICTOR_NAMES))
+    print("profiles  :", ", ".join(PROFILE_NAMES))
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    context = _context(args)
+    rows = []
+    for name in context.workload_list:
+        report = context.characterize(name)
+        b = report.breakdown
+        rows.append([
+            name,
+            report.result.accesses,
+            report.result.miss_ratio,
+            b.shared_residency_fraction,
+            b.shared_hit_fraction,
+            b.hit_density_ratio,
+            b.ro_fraction_of_shared_hits,
+        ])
+    from repro.workloads.registry import get_workload as _get_workload
+
+    append_group_means(rows, numeric_columns=[2, 3, 4, 5, 6],
+                       group_of=lambda name: _get_workload(name).suite)
+    append_summary_rows(rows, numeric_columns=[2, 3, 4, 5, 6])
+    print(render_table(
+        ["workload", "llc_accesses", "miss_ratio", "shared_res_frac",
+         "shared_hit_frac", "hit_density", "ro_share"],
+        rows,
+        title=f"Characterization ({args.profile}, LRU residencies)",
+    ))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    context = _context(args)
+    rows = []
+    for name in context.workload_list:
+        comparison = context.compare_policies(name, args.policies,
+                                              include_opt=args.opt)
+        row = [name] + [comparison.results[p].miss_ratio
+                        for p in comparison.policies()]
+        rows.append(row)
+    headers = ["workload"] + (args.policies + (["opt"] if args.opt else []))
+    append_summary_rows(rows, numeric_columns=list(range(1, len(headers))))
+    print(render_table(headers, rows,
+                       title=f"LLC miss ratios ({args.profile})"))
+    return 0
+
+
+def cmd_oracle(args) -> int:
+    context = _context(args)
+    rows = []
+    for name in context.workload_list:
+        study = context.oracle_study(name, base=args.base, mode=args.mode,
+                                     horizon_turnovers=args.turnovers)
+        rows.append([
+            name,
+            study.base.miss_ratio,
+            study.oracle.miss_ratio,
+            study.miss_reduction,
+            study.shared_fill_fraction,
+        ])
+    append_summary_rows(rows, numeric_columns=[1, 2, 3, 4])
+    print(render_table(
+        ["workload", f"{args.base}_mr", "oracle_mr", "miss_reduction",
+         "shared_fills"],
+        rows,
+        title=f"Sharing-oracle study (base={args.base}, {args.profile})",
+    ))
+    return 0
+
+
+def cmd_predict(args) -> int:
+    context = _context(args)
+    rows = []
+    for name in context.workload_list:
+        artifacts = context.artifacts(name)
+        for predictor_name in args.predictors:
+            predictor = make_predictor(predictor_name)
+            harness = PredictorHarness(predictor)
+            run_policy_on_stream(
+                artifacts.stream, context.geometry, "lru",
+                seed=args.seed, observers=(harness,),
+            )
+            m = harness.matrix
+            rows.append([
+                f"{name}/{predictor_name}",
+                m.total, m.base_rate, m.accuracy, m.precision, m.recall,
+                m.coverage,
+            ])
+    print(render_table(
+        ["workload/predictor", "fills", "base_rate", "accuracy",
+         "precision", "recall", "coverage"],
+        rows,
+        title=f"Fill-time sharing predictability ({args.profile})",
+    ))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.common.config import CacheGeometry
+    from repro.oracle.runner import run_oracle_study
+    from repro.analysis.aggregate import amean
+
+    context = _context(args)
+    base_blocks = context.geometry.num_blocks
+    rows = []
+    for factor in (0.5, 1.0, 2.0, 4.0):
+        blocks = int(base_blocks * factor)
+        geometry = CacheGeometry(
+            blocks * context.geometry.block_bytes, context.geometry.ways
+        )
+        reductions, miss_ratios = [], []
+        for name in context.workload_list:
+            stream = context.artifacts(name).stream
+            study = run_oracle_study(stream, geometry, base=args.base,
+                                     horizon_turnovers=args.turnovers)
+            reductions.append(study.miss_reduction)
+            miss_ratios.append(study.base.miss_ratio)
+        rows.append([geometry.describe(), amean(miss_ratios),
+                     amean(reductions), max(reductions)])
+    print(render_table(
+        ["llc", f"avg_{args.base}_mr", "avg_oracle_red", "max_oracle_red"],
+        rows,
+        title=f"Oracle gain vs LLC capacity (base={args.base})",
+    ))
+    return 0
+
+
+def cmd_phases(args) -> int:
+    from repro.characterization.pc_profile import PcSharingProfiler
+    from repro.characterization.phases import SharingPhaseTracker
+
+    context = _context(args)
+    rows = []
+    for name in context.workload_list:
+        artifacts = context.artifacts(name)
+        tracker, profiler = SharingPhaseTracker(), PcSharingProfiler()
+        run_policy_on_stream(
+            artifacts.stream, context.geometry, "lru",
+            seed=args.seed, observers=(tracker, profiler),
+        )
+        stats = tracker.finalize()
+        profile = profiler.finalize()
+        rows.append([
+            name, stats.transitions, stats.last_value_accuracy,
+            stats.bimodal_block_fraction, profile.majority_accuracy,
+            profile.mixed_pc_fraction,
+        ])
+    print(render_table(
+        ["workload", "transitions", "last_value_acc", "bimodal_blocks",
+         "pc_majority_acc", "mixed_pcs"],
+        rows,
+        title=f"Sharing stability and PC ambiguity ({args.profile})",
+    ))
+    return 0
+
+
+def cmd_mix(args) -> int:
+    from repro.oracle.runner import run_oracle_study
+    from repro.sim.multipass import record_llc_stream
+    from repro.workloads.multiprogram import MultiprogramMix
+
+    context = _context(args)
+    mix = MultiprogramMix(args.components)
+    trace = mix.generate(
+        num_threads=context.machine.num_cores,
+        scale=context.machine.scale,
+        target_accesses=args.accesses,
+        seed=args.seed,
+    )
+    stream, stats = record_llc_stream(trace, context.machine)
+    study = run_oracle_study(stream, context.geometry, base=args.base)
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["mix", mix.name],
+            ["llc accesses", stats.llc_accesses],
+            [f"{args.base} miss ratio", study.base.miss_ratio],
+            ["oracle miss ratio", study.oracle.miss_ratio],
+            ["oracle miss reduction", study.miss_reduction],
+            ["shared fill fraction", study.shared_fill_fraction],
+        ],
+        title=f"Multi-programmed oracle study ({args.profile})",
+    ))
+    return 0
+
+
+def cmd_record(args) -> int:
+    from repro.cache.stream_io import write_llc_stream
+
+    context = _context(args)
+    for name in context.workload_list:
+        artifacts = context.artifacts(name)
+        path = f"{args.out_prefix}{name}.rllc.gz"
+        write_llc_stream(artifacts.stream, path)
+        print(f"recorded {name}: {len(artifacts.stream)} LLC accesses -> {path}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.cache.stream_io import read_llc_stream
+    from repro.common.config import profile as load_profile
+    from repro.sim.multipass import run_opt
+
+    geometry = load_profile(args.profile).llc
+    rows = []
+    for path in args.streams:
+        stream = read_llc_stream(path)
+        row = [stream.name]
+        for policy in args.policies:
+            result = run_policy_on_stream(stream, geometry, policy,
+                                          seed=args.seed)
+            row.append(result.miss_ratio)
+        if args.opt:
+            row.append(run_opt(stream, geometry).miss_ratio)
+        rows.append(row)
+    headers = ["stream"] + list(args.policies) + (["opt"] if args.opt else [])
+    print(render_table(headers, rows,
+                       title=f"Replayed miss ratios ({args.profile})"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Sharing-aware LLC replacement studies (IISWC 2013 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list workloads/policies/profiles")
+
+    p = subparsers.add_parser("characterize", help="shared-vs-private hit breakdown")
+    _add_common_arguments(p)
+
+    p = subparsers.add_parser("compare", help="policy comparison on identical streams")
+    _add_common_arguments(p)
+    p.add_argument("--policies", nargs="*",
+                   default=["lru", "dip", "srrip", "drrip", "ship"],
+                   choices=POLICY_NAMES)
+    p.add_argument("--opt", action="store_true", help="include Belady's OPT")
+
+    p = subparsers.add_parser("oracle", help="sharing-oracle gain study")
+    _add_common_arguments(p)
+    p.add_argument("--base", default="lru", choices=POLICY_NAMES)
+    p.add_argument("--mode", default="both",
+                   choices=("victim-exempt", "insert-promote", "both"))
+    p.add_argument("--turnovers", type=float, default=1.75,
+                   help="oracle retention horizon in cache turnovers")
+
+    p = subparsers.add_parser("predict", help="fill-time predictor accuracy")
+    _add_common_arguments(p)
+    p.add_argument("--predictors", nargs="*", default=["address", "pc", "hybrid"],
+                   choices=PREDICTOR_NAMES)
+
+    p = subparsers.add_parser("sweep", help="oracle gain vs LLC capacity")
+    _add_common_arguments(p)
+    p.add_argument("--base", default="lru", choices=POLICY_NAMES)
+    p.add_argument("--turnovers", type=float, default=1.75)
+
+    p = subparsers.add_parser("phases",
+                              help="sharing stability and PC ambiguity")
+    _add_common_arguments(p)
+
+    p = subparsers.add_parser("mix",
+                              help="oracle study on a multi-programmed mix")
+    _add_common_arguments(p)
+    p.add_argument("--components", nargs="+",
+                   default=["swaptions", "canneal"],
+                   help="workload names composing the mix")
+    p.add_argument("--base", default="lru", choices=POLICY_NAMES)
+
+    p = subparsers.add_parser("record", help="record LLC streams to files")
+    _add_common_arguments(p)
+    p.add_argument("--out-prefix", default="stream_",
+                   help="output filename prefix (default: stream_)")
+
+    p = subparsers.add_parser("replay", help="replay recorded streams")
+    p.add_argument("streams", nargs="+", help="stream files from 'record'")
+    p.add_argument("--profile", default="scaled-4mb", choices=PROFILE_NAMES)
+    p.add_argument("--policies", nargs="*", default=["lru", "srrip"],
+                   choices=POLICY_NAMES)
+    p.add_argument("--opt", action="store_true", help="include Belady's OPT")
+    p.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+_COMMANDS = {
+    "list": cmd_list,
+    "characterize": cmd_characterize,
+    "compare": cmd_compare,
+    "oracle": cmd_oracle,
+    "predict": cmd_predict,
+    "sweep": cmd_sweep,
+    "phases": cmd_phases,
+    "mix": cmd_mix,
+    "record": cmd_record,
+    "replay": cmd_replay,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

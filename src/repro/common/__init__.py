@@ -1,0 +1,54 @@
+"""Shared substrate: configuration, addressing, RNG, statistics, errors.
+
+Everything in this package is policy- and workload-agnostic. The rest of the
+library builds on these primitives.
+"""
+
+from repro.common.addressing import (
+    BLOCK_BYTES_DEFAULT,
+    block_address,
+    block_of,
+    byte_address,
+    is_power_of_two,
+    log2_exact,
+)
+from repro.common.config import (
+    CacheGeometry,
+    MachineConfig,
+    full_4mb,
+    full_8mb,
+    scaled_4mb,
+    scaled_8mb,
+    profile,
+    PROFILE_NAMES,
+)
+from repro.common.errors import ConfigError, ReproError, SimulationError, TraceError
+from repro.common.rng import DeterministicRng, derive_seed
+from repro.common.stats import CounterBag, geometric_mean, ratio, safe_div
+
+__all__ = [
+    "BLOCK_BYTES_DEFAULT",
+    "block_address",
+    "block_of",
+    "byte_address",
+    "is_power_of_two",
+    "log2_exact",
+    "CacheGeometry",
+    "MachineConfig",
+    "full_4mb",
+    "full_8mb",
+    "scaled_4mb",
+    "scaled_8mb",
+    "profile",
+    "PROFILE_NAMES",
+    "ConfigError",
+    "ReproError",
+    "SimulationError",
+    "TraceError",
+    "DeterministicRng",
+    "derive_seed",
+    "CounterBag",
+    "geometric_mean",
+    "ratio",
+    "safe_div",
+]

@@ -1,0 +1,40 @@
+"""Address arithmetic helpers.
+
+The simulator works on *block addresses* (byte address with the block-offset
+bits stripped) everywhere past the trace layer; these helpers centralise the
+conversions so that block size appears in exactly one place per config.
+"""
+
+BLOCK_BYTES_DEFAULT = 64
+"""Cache block size used throughout the paper's configuration (bytes)."""
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return log2 of a power-of-two ``value``.
+
+    Raises:
+        ValueError: if ``value`` is not a positive power of two.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def block_of(byte_addr: int, block_bytes: int = BLOCK_BYTES_DEFAULT) -> int:
+    """Convert a byte address to its containing block address."""
+    return byte_addr // block_bytes
+
+
+def block_address(byte_addr: int, block_bytes: int = BLOCK_BYTES_DEFAULT) -> int:
+    """Alias of :func:`block_of`; reads better at some call sites."""
+    return byte_addr // block_bytes
+
+
+def byte_address(block_addr: int, block_bytes: int = BLOCK_BYTES_DEFAULT) -> int:
+    """Convert a block address back to the first byte address it covers."""
+    return block_addr * block_bytes

@@ -1,0 +1,217 @@
+"""Machine and cache-geometry configuration.
+
+The paper simulates an 8-core CMP with private L1/L2 caches per core and a
+shared, inclusive last-level cache (LLC) of 4MB or 8MB, 16-way, 64-byte
+blocks. Pure-Python simulation at that scale is infeasible for full suite
+sweeps, so the default profiles scale every capacity by ``SCALE_FACTOR``
+(workload footprints are scaled by the same ratio in
+``repro.workloads.scaling``), which preserves working-set : capacity ratios
+and therefore policy orderings. ``full_4mb``/``full_8mb`` restore the paper's
+literal geometry.
+"""
+
+from dataclasses import dataclass, field, replace
+
+from repro.common.addressing import BLOCK_BYTES_DEFAULT, is_power_of_two, log2_exact
+from repro.common.errors import ConfigError
+
+SCALE_FACTOR = 16
+"""Capacity divisor applied by the scaled profiles."""
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of one set-associative cache level.
+
+    Attributes:
+        size_bytes: total capacity in bytes.
+        ways: associativity.
+        block_bytes: line size in bytes.
+    """
+
+    size_bytes: int
+    ways: int
+    block_bytes: int = BLOCK_BYTES_DEFAULT
+
+    def __post_init__(self):
+        if self.ways <= 0:
+            raise ConfigError(f"associativity must be positive, got {self.ways}")
+        if not is_power_of_two(self.block_bytes):
+            raise ConfigError(f"block size must be a power of two, got {self.block_bytes}")
+        if self.size_bytes <= 0 or self.size_bytes % (self.ways * self.block_bytes) != 0:
+            raise ConfigError(
+                f"capacity {self.size_bytes} is not a multiple of "
+                f"ways*block ({self.ways}*{self.block_bytes})"
+            )
+        if not is_power_of_two(self.num_sets):
+            raise ConfigError(
+                f"geometry {self.size_bytes}B/{self.ways}w/{self.block_bytes}B "
+                f"yields a non-power-of-two set count {self.num_sets}"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self.size_bytes // (self.ways * self.block_bytes)
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of block frames."""
+        return self.size_bytes // self.block_bytes
+
+    @property
+    def set_index_bits(self) -> int:
+        """Number of block-address bits used for the set index."""
+        return log2_exact(self.num_sets)
+
+    def set_index(self, block_addr: int) -> int:
+        """Map a block address to its set index."""
+        return block_addr & (self.num_sets - 1)
+
+    def tag(self, block_addr: int) -> int:
+        """Extract the tag (the block address above the index bits)."""
+        return block_addr >> self.set_index_bits
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. ``256KB 16-way 64B``."""
+        if self.size_bytes % MB == 0:
+            size = f"{self.size_bytes // MB}MB"
+        elif self.size_bytes % KB == 0:
+            size = f"{self.size_bytes // KB}KB"
+        else:
+            size = f"{self.size_bytes}B"
+        return f"{size} {self.ways}-way {self.block_bytes}B"
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A full CMP configuration: core count plus the three-level hierarchy.
+
+    The hierarchy is private L1D and private unified L2 per core, under one
+    shared inclusive LLC (the paper's organisation). ``name`` labels result
+    rows; ``scale`` records the capacity divisor relative to the paper's
+    machine (1 for full size) so reports can say what was simulated.
+    """
+
+    name: str
+    num_cores: int
+    l1: CacheGeometry
+    l2: CacheGeometry
+    llc: CacheGeometry
+    scale: int = 1
+
+    def __post_init__(self):
+        if self.num_cores <= 0:
+            raise ConfigError(f"core count must be positive, got {self.num_cores}")
+        if not (self.l1.block_bytes == self.l2.block_bytes == self.llc.block_bytes):
+            raise ConfigError("all cache levels must share one block size")
+        if not self.l1.size_bytes <= self.l2.size_bytes <= self.llc.size_bytes:
+            raise ConfigError("hierarchy capacities must be non-decreasing (L1<=L2<=LLC)")
+        if self.llc.size_bytes < self.num_cores * self.l2.size_bytes:
+            # Inclusion of every private L2 in the shared LLC requires the
+            # LLC to be at least as large as the sum of the L2s.
+            raise ConfigError(
+                "inclusive LLC must be at least num_cores * L2 capacity "
+                f"({self.num_cores} * {self.l2.size_bytes} > {self.llc.size_bytes})"
+            )
+
+    @property
+    def block_bytes(self) -> int:
+        """Block size shared by every level."""
+        return self.llc.block_bytes
+
+    def with_llc_size(self, size_bytes: int) -> "MachineConfig":
+        """Return a copy with a different LLC capacity (same ways/block)."""
+        new_llc = replace(self.llc, size_bytes=size_bytes)
+        return replace(self, llc=new_llc, name=f"{self.name}@llc={size_bytes}")
+
+    def describe(self) -> str:
+        """Multi-line configuration summary (used by the T2 bench)."""
+        lines = [
+            f"machine          : {self.name}",
+            f"cores            : {self.num_cores}",
+            f"L1D (per core)   : {self.l1.describe()}",
+            f"L2 (per core)    : {self.l2.describe()}",
+            f"LLC (shared)     : {self.llc.describe()}, inclusive",
+            f"scale vs paper   : 1/{self.scale}" if self.scale != 1 else "scale vs paper   : full size",
+        ]
+        return "\n".join(lines)
+
+
+NUM_CORES_DEFAULT = 8
+"""Paper machine: 8-core CMP."""
+
+
+def full_4mb(num_cores: int = NUM_CORES_DEFAULT) -> MachineConfig:
+    """The paper's 4MB-LLC machine at full size."""
+    return MachineConfig(
+        name="full-4mb",
+        num_cores=num_cores,
+        l1=CacheGeometry(32 * KB, 8),
+        l2=CacheGeometry(256 * KB, 8),
+        llc=CacheGeometry(4 * MB, 16),
+        scale=1,
+    )
+
+
+def full_8mb(num_cores: int = NUM_CORES_DEFAULT) -> MachineConfig:
+    """The paper's 8MB-LLC machine at full size."""
+    return MachineConfig(
+        name="full-8mb",
+        num_cores=num_cores,
+        l1=CacheGeometry(32 * KB, 8),
+        l2=CacheGeometry(256 * KB, 8),
+        llc=CacheGeometry(8 * MB, 16),
+        scale=1,
+    )
+
+
+def scaled_4mb(num_cores: int = NUM_CORES_DEFAULT) -> MachineConfig:
+    """The 4MB machine with every capacity divided by ``SCALE_FACTOR``."""
+    return MachineConfig(
+        name="scaled-4mb",
+        num_cores=num_cores,
+        l1=CacheGeometry(32 * KB // SCALE_FACTOR, 8),
+        l2=CacheGeometry(256 * KB // SCALE_FACTOR, 8),
+        llc=CacheGeometry(4 * MB // SCALE_FACTOR, 16),
+        scale=SCALE_FACTOR,
+    )
+
+
+def scaled_8mb(num_cores: int = NUM_CORES_DEFAULT) -> MachineConfig:
+    """The 8MB machine with every capacity divided by ``SCALE_FACTOR``."""
+    return MachineConfig(
+        name="scaled-8mb",
+        num_cores=num_cores,
+        l1=CacheGeometry(32 * KB // SCALE_FACTOR, 8),
+        l2=CacheGeometry(256 * KB // SCALE_FACTOR, 8),
+        llc=CacheGeometry(8 * MB // SCALE_FACTOR, 16),
+        scale=SCALE_FACTOR,
+    )
+
+
+_PROFILES = {
+    "scaled-4mb": scaled_4mb,
+    "scaled-8mb": scaled_8mb,
+    "full-4mb": full_4mb,
+    "full-8mb": full_8mb,
+}
+
+PROFILE_NAMES = tuple(sorted(_PROFILES))
+"""Names accepted by :func:`profile` and the CLI ``--profile`` flag."""
+
+
+def profile(name: str, num_cores: int = NUM_CORES_DEFAULT) -> MachineConfig:
+    """Look up a machine profile by name.
+
+    Raises:
+        ConfigError: for an unknown profile name.
+    """
+    try:
+        factory = _PROFILES[name]
+    except KeyError:
+        raise ConfigError(f"unknown profile {name!r}; choose from {PROFILE_NAMES}") from None
+    return factory(num_cores)

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid machine, cache, or workload configuration."""
+
+
+class TraceError(ReproError):
+    """A malformed trace file or an inconsistent access stream."""
+
+
+class SimulationError(ReproError):
+    """An internal invariant of the simulator was violated."""

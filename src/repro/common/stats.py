@@ -1,0 +1,78 @@
+"""Small statistics helpers used across the library and the benches."""
+
+import math
+from typing import Dict, Iterable, Optional
+
+
+def safe_div(numerator: float, denominator: float, default: float = 0.0) -> float:
+    """Divide, returning ``default`` when the denominator is zero."""
+    if denominator == 0:
+        return default
+    return numerator / denominator
+
+
+def ratio(part: float, whole: float) -> float:
+    """Fraction ``part / whole`` with a 0-denominator guard."""
+    return safe_div(part, whole, 0.0)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values; returns 0.0 for an empty input.
+
+    Raises:
+        ValueError: if any value is not strictly positive (geomeans over
+            speedups/ratios require positivity; zero would silently collapse
+            the mean).
+    """
+    total = 0.0
+    count = 0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geometric mean requires positive values, got {value}")
+        total += math.log(value)
+        count += 1
+    if count == 0:
+        return 0.0
+    return math.exp(total / count)
+
+
+class CounterBag:
+    """A dict-backed bundle of named integer counters.
+
+    Hot simulator paths bump attributes of dedicated stats objects instead;
+    CounterBag serves reporting code where flexibility beats speed.
+    """
+
+    def __init__(self, initial: Optional[Dict[str, int]] = None):
+        self._counts: Dict[str, int] = dict(initial or {})
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount`` (creating it at 0)."""
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Current value of ``name`` (0 if never incremented)."""
+        return self._counts.get(name, 0)
+
+    def fraction(self, part: str, whole: str) -> float:
+        """Ratio of two counters with a 0-denominator guard."""
+        return ratio(self.get(part), self.get(whole))
+
+    def merge(self, other: "CounterBag") -> None:
+        """Add every counter of ``other`` into this bag."""
+        for name, value in other._counts.items():
+            self.add(name, value)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot of all counters."""
+        return dict(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"CounterBag({inner})"

@@ -1,0 +1,127 @@
+"""Building and consuming fill-time sharing annotations.
+
+Two annotation flavours:
+
+* :func:`build_stream_annotation` — **policy-free** (the oracle proper).
+  For every stream position it counts the future accesses to that block by
+  *other* cores within a retention horizon. A fill's positive budget means
+  "this block will be shared during a residency of achievable length";
+  the wrapper protects the block until those cross-core uses have been
+  served. Because every position is annotated, fills occurring at
+  positions that were hits under some other policy still find their
+  budget — annotation and replay align by stream ordinal regardless of
+  policy.
+* :func:`build_sharing_annotation` — **policy-conditioned** ground truth:
+  replays a concrete policy and logs each residency's realised cross-core
+  uses at its fill ordinal. This is the per-residency truth the
+  characterization and predictor studies consume; it is *not* useful as an
+  oracle hint for the same policy (its budgets are exhausted exactly at the
+  recorded eviction points, making the oracle a fixed point of the base).
+"""
+
+from array import array
+from collections import deque
+from typing import Dict, Union
+
+from repro.cache.stream import LlcStream
+from repro.common.config import CacheGeometry
+from repro.common.errors import ConfigError
+from repro.common.rng import derive_seed
+from repro.oracle.residency import FillSharingLog
+from repro.policies.base import ReplacementPolicy
+from repro.policies.registry import make_policy
+from repro.sim.engine import LlcOnlySimulator
+
+DEFAULT_HORIZON_FACTOR = 8
+"""Retention horizon in units of LLC capacity (in blocks)."""
+
+BUDGET_CAP = 127
+"""Budgets saturate here; protection beyond ~100 uses changes nothing."""
+
+
+def build_stream_annotation(
+    stream: LlcStream,
+    geometry: CacheGeometry,
+    horizon_factor: int = DEFAULT_HORIZON_FACTOR,
+    cap: int = BUDGET_CAP,
+) -> array:
+    """Annotate every stream position with its future cross-core uses.
+
+    ``budgets[i + 1]`` (ordinals are 1-based) is the number of accesses to
+    ``blocks[i]`` by cores other than ``cores[i]`` within the next
+    ``horizon_factor * geometry.num_blocks`` stream positions, saturated at
+    ``cap``. The horizon models the longest residency worth engineering
+    for: sharing farther out than several full cache turnovers cannot be
+    captured by any replacement decision made now.
+
+    Single backward scan, O(stream length): per block a deque of future
+    (position, core) pairs trimmed to the sliding window, plus per-core
+    counts inside the window.
+    """
+    if horizon_factor <= 0 or cap <= 0:
+        raise ConfigError("horizon_factor and cap must be positive")
+    horizon = horizon_factor * geometry.num_blocks
+    cores_col, __, blocks_col, __ = stream.columns()
+    n = len(stream)
+    budgets = array("i", bytes(4 * (n + 1)))
+
+    future: Dict[int, deque] = {}
+    counts: Dict[int, list] = {}
+    num_cores = max(stream.num_cores, 1)
+
+    for i in range(n - 1, -1, -1):
+        block = blocks_col[i]
+        core = cores_col[i]
+        block_future = future.get(block)
+        if block_future is None:
+            block_future = deque()
+            future[block] = block_future
+            counts[block] = [0] * (num_cores + 1)  # [-1] slot holds total
+        block_counts = counts[block]
+        limit = i + horizon
+        while block_future and block_future[-1][0] > limit:
+            __, dropped_core = block_future.pop()
+            block_counts[dropped_core] -= 1
+            block_counts[-1] -= 1
+        budget = block_counts[-1] - block_counts[core]
+        budgets[i + 1] = budget if budget < cap else cap
+        block_future.appendleft((i, core))
+        block_counts[core] += 1
+        block_counts[-1] += 1
+
+    return budgets
+
+
+def build_sharing_annotation(
+    stream: LlcStream,
+    geometry: CacheGeometry,
+    policy: Union[str, ReplacementPolicy] = "lru",
+    seed: int = 0,
+) -> array:
+    """Run ``policy`` over ``stream`` logging realised per-residency budgets.
+
+    Returns ``budgets`` with ``budgets[fill_ordinal]`` holding the
+    cross-core uses the residency starting at that fill served under this
+    policy (zero at ordinals that were hits). See the module docstring for
+    when to prefer this over :func:`build_stream_annotation`.
+    """
+    if isinstance(policy, str):
+        policy = make_policy(policy, seed=derive_seed(seed, "annotate", policy))
+    log = FillSharingLog(len(stream))
+    simulator = LlcOnlySimulator(geometry, policy, observers=(log,))
+    simulator.run(stream)
+    return log.budgets
+
+
+def oracle_hint_source(budgets: array):
+    """Adapt an annotation budget array into a wrapper hint source.
+
+    The returned callable matches :class:`SharingAwareWrapper`'s hint
+    signature and keys into ``budgets`` by the wrapping LLC's current access
+    ordinal (== the fill ordinal during an ``on_fill``).
+    """
+
+    def hint(llc, block: int, pc: int, core: int) -> int:
+        return budgets[llc.access_count]
+
+    return hint

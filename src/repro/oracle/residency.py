@@ -1,0 +1,35 @@
+"""Fill-ordinal-indexed sharing annotation log.
+
+Records, for every fill of a run, the residency's *cross-core use budget*:
+how many demand hits cores other than the filler issued to the block before
+it left the LLC. A budget of zero means the residency was private (or the
+sharing never produced an LLC hit); a positive budget both flags the fill
+as will-be-shared and tells the oracle wrapper how long protection is worth
+holding. Fill ordinals are the LLC's access ordinal at fill time, identical
+across replays of one stream — the property that lets a log from pass *k*
+annotate the fills of pass *k+1*.
+"""
+
+from array import array
+
+from repro.cache.llc import ResidencyObserver
+from repro.characterization.hits import popcount
+
+
+class FillSharingLog(ResidencyObserver):
+    """Observer building the ``fill ordinal -> cross-core uses`` array."""
+
+    def __init__(self, stream_length: int):
+        # Ordinals are 1-based (the LLC pre-increments), hence +1.
+        self.budgets = array("i", bytes(4 * (stream_length + 1)))
+        self.shared_fills = 0
+        self.total_fills = 0
+
+    def residency_ended(
+        self, block, set_index, fill_ordinal, end_ordinal, fill_pc, fill_core,
+        core_mask, write_mask, hits, other_hits, forced,
+    ) -> None:
+        self.total_fills += 1
+        self.budgets[fill_ordinal] = other_hits
+        if popcount(core_mask) >= 2:
+            self.shared_fills += 1

@@ -1,0 +1,44 @@
+"""LLC replacement policies.
+
+All the policies the paper's comparison space covers:
+
+* classics — :class:`LruPolicy`, :class:`RandomPolicy`, :class:`NruPolicy`
+* insertion-policy family — :class:`LipPolicy`, :class:`BipPolicy`,
+  :class:`DipPolicy` (set dueling)
+* re-reference interval prediction — :class:`SrripPolicy`,
+  :class:`BrripPolicy`, :class:`DrripPolicy` (set dueling)
+* signature-based — :class:`ShipPolicy` (SHiP-PC)
+* offline optimal — :class:`BeladyOptPolicy` (replay mode only)
+
+Use :func:`make_policy` to build by name; the sharing-aware oracle and
+predictor wrappers live in ``repro.oracle`` and ``repro.predictors``.
+"""
+
+from repro.policies.base import ReplacementPolicy
+from repro.policies.lru import LipPolicy, LruPolicy
+from repro.policies.random_policy import RandomPolicy
+from repro.policies.nru import NruPolicy
+from repro.policies.dip import BipPolicy, DipPolicy, DuelingController
+from repro.policies.rrip import BrripPolicy, DrripPolicy, SrripPolicy
+from repro.policies.ship import ShipPolicy
+from repro.policies.opt import BeladyOptPolicy, compute_next_use
+from repro.policies.registry import POLICY_NAMES, make_policy
+
+__all__ = [
+    "ReplacementPolicy",
+    "LruPolicy",
+    "LipPolicy",
+    "RandomPolicy",
+    "NruPolicy",
+    "BipPolicy",
+    "DipPolicy",
+    "DuelingController",
+    "SrripPolicy",
+    "BrripPolicy",
+    "DrripPolicy",
+    "ShipPolicy",
+    "BeladyOptPolicy",
+    "compute_next_use",
+    "POLICY_NAMES",
+    "make_policy",
+]

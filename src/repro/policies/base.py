@@ -1,0 +1,80 @@
+"""Replacement-policy interface.
+
+A policy owns only its replacement metadata (recency stamps, RRPVs,
+signature tables, ...); tag state lives in the LLC. The LLC calls:
+
+* :meth:`ReplacementPolicy.on_fill` when a block is installed into a way
+  (every fill corresponds to one demand miss),
+* :meth:`ReplacementPolicy.on_hit` on a demand hit,
+* :meth:`ReplacementPolicy.select_victim` when a fill finds its set full,
+* :meth:`ReplacementPolicy.on_evict` after the victim leaves.
+
+Policies that need global context (the sharing-oracle wrapper keys its
+annotations by LLC access ordinal) read it from :attr:`llc`, which the LLC
+sets at attach time.
+"""
+
+from abc import ABC, abstractmethod
+
+from repro.common.config import CacheGeometry
+from repro.common.errors import SimulationError
+
+
+class ReplacementPolicy(ABC):
+    """Base class of all LLC replacement policies."""
+
+    name: str = "base"
+
+    def __init__(self):
+        self.geometry = None
+        self.num_sets = 0
+        self.ways = 0
+        self.llc = None
+
+    def bind(self, geometry: CacheGeometry) -> None:
+        """Size the policy's metadata to ``geometry``.
+
+        Subclasses must call ``super().bind(geometry)`` first and may then
+        allocate per-set/per-way state. Binding twice is a bug.
+        """
+        if self.geometry is not None:
+            raise SimulationError(f"policy {self.name} bound twice")
+        self.geometry = geometry
+        self.num_sets = geometry.num_sets
+        self.ways = geometry.ways
+
+    def attach(self, llc) -> None:
+        """Give the policy a back-reference to its LLC (set by the LLC)."""
+        self.llc = llc
+
+    @abstractmethod
+    def on_fill(self, set_index: int, way: int, block: int, pc: int, core: int, is_write: bool) -> None:
+        """A demand miss installed ``block`` into ``way`` of ``set_index``."""
+
+    @abstractmethod
+    def on_hit(self, set_index: int, way: int, block: int, pc: int, core: int, is_write: bool) -> None:
+        """A demand access hit ``block`` resident in ``way``."""
+
+    @abstractmethod
+    def select_victim(self, set_index: int) -> int:
+        """Choose the way to evict from a *full* set."""
+
+    def on_evict(self, set_index: int, way: int, block: int) -> None:
+        """The block in ``way`` was evicted (override if state must react)."""
+
+    def rank_victims(self, set_index: int) -> list:
+        """Every way of the set in eviction-preference order (best first).
+
+        ``rank_victims(s)[0]`` must equal what :meth:`select_victim` would
+        choose, including any metadata side effects selection implies (RRIP
+        aging). The sharing-aware wrapper uses the full ranking to skip
+        protected blocks while otherwise deferring to the base policy — this
+        method is what makes the oracle "generic" in the paper's sense.
+        """
+        raise NotImplementedError(
+            f"policy {self.name} does not support ranked victim selection"
+        )
+
+    def __repr__(self) -> str:
+        bound = self.geometry.describe() if self.geometry else "unbound"
+        return f"{type(self).__name__}({bound})"

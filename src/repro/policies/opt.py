@@ -1,0 +1,78 @@
+"""Belady's optimal replacement (OPT / MIN), offline.
+
+OPT evicts the resident block whose next use lies farthest in the future.
+It needs the future, so it can only run in *replay mode*: over a recorded
+:class:`repro.cache.LlcStream` whose per-position next-use indices were
+precomputed by :func:`compute_next_use`. The policy tracks, per way, the
+stream position at which the resident block is next accessed, and the
+victim is the way with the maximum (a never-again block wins outright).
+
+The LLC-level access stream is recorded once under the baseline hierarchy
+and replayed identically for every policy, so OPT's miss count is the exact
+offline optimum for that stream (Belady's algorithm is optimal for caches
+without bypass; ties are broken by way index, which does not affect the
+miss count).
+"""
+
+from array import array
+from typing import Sequence
+
+from repro.common.errors import SimulationError
+from repro.policies.base import ReplacementPolicy
+
+NO_NEXT_USE = 1 << 62
+"""Sentinel next-use position meaning "never accessed again"."""
+
+
+def compute_next_use(blocks: Sequence[int]) -> array:
+    """For each stream position, the position of that block's next access.
+
+    Runs a single backward scan with a last-seen map; positions with no
+    later access of the same block get :data:`NO_NEXT_USE`.
+    """
+    next_use = array("q", bytes(8 * len(blocks)))
+    last_seen = {}
+    for i in range(len(blocks) - 1, -1, -1):
+        block = blocks[i]
+        next_use[i] = last_seen.get(block, NO_NEXT_USE)
+        last_seen[block] = i
+    return next_use
+
+
+class BeladyOptPolicy(ReplacementPolicy):
+    """Belady's MIN over a precomputed next-use sequence (replay only)."""
+
+    name = "opt"
+
+    def __init__(self, next_use: array):
+        super().__init__()
+        self._next_use = next_use
+
+    def bind(self, geometry) -> None:
+        super().bind(geometry)
+        self._way_next = [[NO_NEXT_USE] * self.ways for __ in range(self.num_sets)]
+
+    def _current_ordinal(self) -> int:
+        if self.llc is None:
+            raise SimulationError("OPT policy used without an attached LLC")
+        ordinal = self.llc.access_count - 1
+        if ordinal >= len(self._next_use):
+            raise SimulationError(
+                f"OPT replayed past its stream: ordinal {ordinal} >= "
+                f"{len(self._next_use)} (stream/policy mismatch)"
+            )
+        return ordinal
+
+    def on_fill(self, set_index, way, block, pc, core, is_write) -> None:
+        self._way_next[set_index][way] = self._next_use[self._current_ordinal()]
+
+    def on_hit(self, set_index, way, block, pc, core, is_write) -> None:
+        self._way_next[set_index][way] = self._next_use[self._current_ordinal()]
+
+    def select_victim(self, set_index) -> int:
+        nexts = self._way_next[set_index]
+        return nexts.index(max(nexts))
+
+    def rank_victims(self, set_index) -> list:
+        nexts = self._way_next[set_index]
+        return sorted(range(self.ways), key=lambda way: -nexts[way])

@@ -1,0 +1,28 @@
+"""Random replacement: the zero-information baseline."""
+
+from repro.common.rng import DeterministicRng
+from repro.policies.base import ReplacementPolicy
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evicts a uniformly random way; keeps no recency state."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        super().__init__()
+        self._rng = DeterministicRng(seed)
+
+    def on_fill(self, set_index, way, block, pc, core, is_write) -> None:
+        pass
+
+    def on_hit(self, set_index, way, block, pc, core, is_write) -> None:
+        pass
+
+    def select_victim(self, set_index) -> int:
+        return self._rng.randrange(self.ways)
+
+    def rank_victims(self, set_index) -> list:
+        order = list(range(self.ways))
+        self._rng.shuffle(order)
+        return order

@@ -1,0 +1,41 @@
+"""Fill-time sharing predictors (the paper's section 6).
+
+A realistic implementation of the sharing oracle needs the LLC controller
+to *predict*, at fill time, whether the incoming block will be shared
+during its residency. The paper studies two history-based designs — a
+table indexed by the filled block's address and one indexed by the fill
+instruction's program counter — and reports that neither reaches usable
+accuracy. This package implements both (plus a hybrid and the trivial
+baselines), an online evaluation harness that scores predictions against
+per-residency ground truth, and the glue to drive the sharing-aware policy
+wrapper from a predictor instead of the oracle.
+"""
+
+from repro.predictors.base import SharingPredictor
+from repro.predictors.tables import (
+    AddressSharingPredictor,
+    HybridSharingPredictor,
+    PcSharingPredictor,
+)
+from repro.predictors.baselines import AlwaysSharedPredictor, NeverSharedPredictor
+from repro.predictors.lastvalue import LastValuePredictor
+from repro.predictors.region import RegionSharingPredictor
+from repro.predictors.metrics import ConfusionMatrix
+from repro.predictors.harness import PredictorHarness, predictor_hint_source
+from repro.predictors.registry import PREDICTOR_NAMES, make_predictor
+
+__all__ = [
+    "SharingPredictor",
+    "AddressSharingPredictor",
+    "PcSharingPredictor",
+    "HybridSharingPredictor",
+    "AlwaysSharedPredictor",
+    "NeverSharedPredictor",
+    "LastValuePredictor",
+    "RegionSharingPredictor",
+    "ConfusionMatrix",
+    "PredictorHarness",
+    "predictor_hint_source",
+    "PREDICTOR_NAMES",
+    "make_predictor",
+]

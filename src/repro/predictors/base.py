@@ -1,0 +1,35 @@
+"""Sharing-predictor interface.
+
+A predictor is consulted at fill time (:meth:`SharingPredictor.predict`)
+and trained when the residency's ground truth becomes known at eviction
+(:meth:`SharingPredictor.train`) — the online protocol a real LLC
+controller would follow, which the paper's predictability study models.
+"""
+
+from abc import ABC, abstractmethod
+
+
+class SharingPredictor(ABC):
+    """Base class of all fill-time sharing predictors."""
+
+    name: str = "base"
+
+    @abstractmethod
+    def predict(self, block: int, pc: int, core: int) -> bool:
+        """Predict whether the block filled by (block, pc, core) will be
+        shared during the residency starting now."""
+
+    @abstractmethod
+    def train(self, block: int, pc: int, core: int, was_shared: bool) -> None:
+        """Learn the outcome of a residency that was filled by
+        (block, pc, core)."""
+
+    def reset(self) -> None:
+        """Forget all history (override when the predictor keeps state)."""
+
+    def storage_bits(self) -> int:
+        """Hardware budget of the design in bits (0 for stateless)."""
+        return 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

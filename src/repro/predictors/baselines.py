@@ -1,0 +1,27 @@
+"""Trivial predictor baselines bounding the design space."""
+
+from repro.predictors.base import SharingPredictor
+
+
+class AlwaysSharedPredictor(SharingPredictor):
+    """Predicts shared for every fill (recall 1, precision = base rate)."""
+
+    name = "always"
+
+    def predict(self, block: int, pc: int, core: int) -> bool:
+        return True
+
+    def train(self, block: int, pc: int, core: int, was_shared: bool) -> None:
+        pass
+
+
+class NeverSharedPredictor(SharingPredictor):
+    """Predicts private for every fill (the do-nothing controller)."""
+
+    name = "never"
+
+    def predict(self, block: int, pc: int, core: int) -> bool:
+        return False
+
+    def train(self, block: int, pc: int, core: int, was_shared: bool) -> None:
+        pass

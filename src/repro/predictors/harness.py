@@ -1,0 +1,70 @@
+"""Online predictor evaluation harness.
+
+:class:`PredictorHarness` is a residency observer: at each fill it makes a
+prediction with the tables *as of that moment* and logs it; when the
+residency ends it scores the logged prediction against the ground truth and
+trains the predictor — exactly the information flow available to a real
+fill-time predictor (truth only materialises at eviction).
+
+The same harness doubles as the glue for predictor-*driven* replacement:
+:func:`predictor_hint_source` routes the harness's fill-time predictions
+into a :class:`repro.oracle.SharingAwareWrapper`, so the F8 experiment
+("how much of the oracle's gain does a realistic predictor capture?") uses
+the identical protection mechanism as the oracle — only the hint differs.
+"""
+
+from typing import Dict, Tuple
+
+from repro.cache.llc import ResidencyObserver
+from repro.characterization.hits import popcount
+from repro.predictors.base import SharingPredictor
+from repro.predictors.metrics import ConfusionMatrix
+
+
+class PredictorHarness(ResidencyObserver):
+    """Scores and trains one predictor online during an LLC run."""
+
+    def __init__(self, predictor: SharingPredictor, warmup_fills: int = 0):
+        self.predictor = predictor
+        self.warmup_fills = warmup_fills
+        self.matrix = ConfusionMatrix()
+        self._pending: Dict[int, Tuple[bool, int]] = {}
+        self._fills_seen = 0
+
+    def residency_started(self, block, set_index, fill_ordinal, pc, core) -> None:
+        prediction = self.predictor.predict(block, pc, core)
+        self._fills_seen += 1
+        self._pending[fill_ordinal] = (prediction, self._fills_seen)
+
+    def residency_ended(
+        self, block, set_index, fill_ordinal, end_ordinal, fill_pc, fill_core,
+        core_mask, write_mask, hits, other_hits, forced,
+    ) -> None:
+        pending = self._pending.pop(fill_ordinal, None)
+        was_shared = popcount(core_mask) >= 2
+        if pending is not None:
+            prediction, fill_number = pending
+            if fill_number > self.warmup_fills:
+                self.matrix.update(prediction, was_shared)
+        self.predictor.train(block, fill_pc, fill_core, was_shared)
+
+    def last_prediction_for(self, fill_ordinal: int):
+        """The pending prediction for a live residency (tests only)."""
+        entry = self._pending.get(fill_ordinal)
+        return entry[0] if entry is not None else None
+
+
+def predictor_hint_source(predictor: SharingPredictor):
+    """Hint source for :class:`SharingAwareWrapper` backed by ``predictor``.
+
+    Attach the corresponding :class:`PredictorHarness` (wrapping the *same*
+    predictor instance) to the LLC so training happens; the wrapper only
+    consumes predictions. A boolean predictor yields a cross-core-use budget
+    of 1 — protect until the first cross-core hit — since it cannot say how
+    much sharing to expect.
+    """
+
+    def hint(llc, block: int, pc: int, core: int) -> int:
+        return 1 if predictor.predict(block, pc, core) else 0
+
+    return hint

@@ -1,0 +1,39 @@
+"""Idealized last-value sharing predictor.
+
+An *unbounded* per-block table remembering each block's most recent
+residency outcome. This is what the realistic address-indexed counter table
+aspires to be with infinite capacity, no aliasing, and a one-residency
+learning rate: its accuracy equals the last-value stability measured by
+:class:`repro.characterization.SharingPhaseTracker`
+(``PhaseStats.last_value_accuracy``) plus the prior for first-seen blocks.
+Comparing T3's realistic tables against this bound separates the accuracy
+lost to table constraints from the accuracy the *feature* (per-block
+history) fundamentally cannot provide — the paper's central diagnostic.
+"""
+
+from typing import Dict
+
+from repro.predictors.base import SharingPredictor
+
+
+class LastValuePredictor(SharingPredictor):
+    """Unbounded per-block last-outcome predictor (analysis bound)."""
+
+    name = "lastvalue"
+
+    def __init__(self, default_shared: bool = False):
+        self.default_shared = default_shared
+        self._last: Dict[int, bool] = {}
+
+    def predict(self, block: int, pc: int, core: int) -> bool:
+        return self._last.get(block, self.default_shared)
+
+    def train(self, block: int, pc: int, core: int, was_shared: bool) -> None:
+        self._last[block] = was_shared
+
+    def reset(self) -> None:
+        self._last.clear()
+
+    def storage_bits(self) -> int:
+        """Unbounded by design; reports the bits currently in use."""
+        return len(self._last)

@@ -1,0 +1,40 @@
+"""Region-granularity sharing predictor (the paper's "future work", built).
+
+The paper concludes that block-address and PC histories are too unstable
+and that usable prediction "will require other architectural and/or
+high-level program semantic features". Sharing is a property of *data
+structures* — a shared tree, a read-shared point array, a private scratch
+buffer — and data structures occupy contiguous regions. A history table
+indexed by the fill address's enclosing region (page-sized by default)
+aggregates the outcomes of all blocks of a structure, which is both more
+stable than per-block history (F9's bimodal flips average out) and
+naturally alias-tolerant (one structure maps to few entries).
+
+The counters are wider-ranged than the block predictor's so one region
+entry can integrate many residencies before committing.
+"""
+
+from repro.common.errors import ConfigError
+from repro.predictors.tables import _CounterTablePredictor
+
+
+class RegionSharingPredictor(_CounterTablePredictor):
+    """History table indexed by the filled block's enclosing region."""
+
+    name = "region"
+
+    def __init__(self, index_bits: int = 12, counter_bits: int = 3,
+                 region_blocks: int = 64, tag_bits: int = 0,
+                 default_shared: bool = False):
+        if region_blocks <= 0 or region_blocks & (region_blocks - 1):
+            raise ConfigError(
+                f"region_blocks must be a positive power of two, got "
+                f"{region_blocks}"
+            )
+        super().__init__(index_bits=index_bits, counter_bits=counter_bits,
+                         tag_bits=tag_bits, default_shared=default_shared)
+        self.region_blocks = region_blocks
+        self._region_shift = region_blocks.bit_length() - 1
+
+    def _key(self, block: int, pc: int, core: int) -> int:
+        return block >> self._region_shift

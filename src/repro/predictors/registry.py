@@ -1,0 +1,42 @@
+"""Name-based predictor construction."""
+
+from typing import Callable, Dict
+
+from repro.common.errors import ConfigError
+from repro.predictors.base import SharingPredictor
+from repro.predictors.baselines import AlwaysSharedPredictor, NeverSharedPredictor
+from repro.predictors.lastvalue import LastValuePredictor
+from repro.predictors.region import RegionSharingPredictor
+from repro.predictors.tables import (
+    AddressSharingPredictor,
+    HybridSharingPredictor,
+    PcSharingPredictor,
+)
+
+_FACTORIES: Dict[str, Callable[[], SharingPredictor]] = {
+    "address": AddressSharingPredictor,
+    "pc": PcSharingPredictor,
+    "hybrid": HybridSharingPredictor,
+    "always": AlwaysSharedPredictor,
+    "lastvalue": LastValuePredictor,
+    "region": RegionSharingPredictor,
+    "never": NeverSharedPredictor,
+}
+
+PREDICTOR_NAMES = tuple(sorted(_FACTORIES))
+"""All predictor names constructible by :func:`make_predictor`."""
+
+
+def make_predictor(name: str, **kwargs) -> SharingPredictor:
+    """Construct a predictor by name, forwarding table-sizing kwargs.
+
+    Raises:
+        ConfigError: for an unknown name.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown predictor {name!r}; choose from {PREDICTOR_NAMES}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,32 @@
+"""Simulation engines and experiment orchestration.
+
+* :class:`LlcOnlySimulator` — replays a recorded LLC stream against one
+  policy (the workhorse of all policy comparisons).
+* ``multipass`` — records the LLC stream once per workload and exposes
+  helpers that replay it under named policies, OPT, and oracle wrappers.
+* ``experiment`` — caches per-workload streams so the benches and examples
+  pay the expensive hierarchy pass once.
+"""
+
+from repro.sim.engine import LlcOnlySimulator
+from repro.sim.results import LlcSimResult, PolicyComparison
+from repro.sim.multipass import (
+    record_llc_stream,
+    run_opt,
+    run_policy_on_stream,
+)
+from repro.sim.experiment import ExperimentContext, WorkloadArtifacts
+from repro.sim.sampling import SampledLlcSimulator, SampledResult
+
+__all__ = [
+    "LlcOnlySimulator",
+    "LlcSimResult",
+    "PolicyComparison",
+    "record_llc_stream",
+    "run_opt",
+    "run_policy_on_stream",
+    "ExperimentContext",
+    "WorkloadArtifacts",
+    "SampledLlcSimulator",
+    "SampledResult",
+]

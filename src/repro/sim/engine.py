@@ -1,0 +1,48 @@
+"""LLC-only replay simulator.
+
+Replays a recorded :class:`repro.cache.LlcStream` against a single
+:class:`SharedLlc`. Because the stream was fixed by the recording pass,
+every policy replayed this way sees identical accesses — the property OPT,
+the oracle, and fair policy comparisons all rely on.
+"""
+
+from typing import Tuple
+
+from repro.cache.llc import SharedLlc
+from repro.cache.stream import LlcStream
+from repro.common.config import CacheGeometry
+from repro.policies.base import ReplacementPolicy
+from repro.sim.results import LlcSimResult
+
+
+class LlcOnlySimulator:
+    """Drives one policy over recorded LLC streams."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        policy: ReplacementPolicy,
+        observers: Tuple = (),
+    ):
+        self.llc = SharedLlc(geometry, policy, observers=observers)
+
+    def run(self, stream: LlcStream, flush: bool = True) -> LlcSimResult:
+        """Replay ``stream`` to completion.
+
+        Args:
+            stream: the recorded LLC demand stream.
+            flush: notify observers of still-live residencies afterwards.
+        """
+        cores, pcs, blocks, writes = stream.columns()
+        access = self.llc.access
+        for i in range(len(cores)):
+            access(cores[i], pcs[i], blocks[i], writes[i] != 0)
+        if flush:
+            self.llc.flush_residencies()
+        return LlcSimResult(
+            policy=self.llc.policy.name,
+            stream_name=stream.name,
+            accesses=self.llc.access_count,
+            hits=self.llc.hits,
+            misses=self.llc.misses,
+        )

@@ -1,0 +1,206 @@
+"""Experiment orchestration with per-workload caching.
+
+Recording a workload's LLC stream (trace generation + the full hierarchy
+pass) is the expensive step; every replay-based analysis after it is cheap.
+:class:`ExperimentContext` caches those artifacts per workload so that the
+benches and examples — which slice the same streams many ways — pay the
+hierarchy pass once. :func:`shared_context` additionally memoises whole
+contexts process-wide, letting independent pytest-benchmark files share
+them.
+"""
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.cache.hierarchy import HierarchyStats
+from repro.cache.stream import LlcStream
+from repro.cache.stream_io import read_llc_stream, write_llc_stream
+from repro.common.config import MachineConfig, profile
+from repro.common.errors import ConfigError
+from repro.common.rng import derive_seed
+from repro.sim.multipass import record_llc_stream, run_opt, run_policy_on_stream
+from repro.sim.results import PolicyComparison
+from repro.trace.stats import TraceStatistics, compute_trace_statistics
+from repro.workloads.registry import get_workload, workload_names
+
+DEFAULT_TARGET_ACCESSES = 300_000
+DEFAULT_SEED = 42
+
+
+@dataclass(frozen=True)
+class WorkloadArtifacts:
+    """Cached products of one workload's expensive simulation pass."""
+
+    workload: str
+    trace_stats: TraceStatistics
+    hierarchy_stats: HierarchyStats
+    stream: LlcStream
+
+
+class ExperimentContext:
+    """Caches streams and runs replay analyses for one machine profile."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        target_accesses: int = DEFAULT_TARGET_ACCESSES,
+        seed: int = DEFAULT_SEED,
+        workloads: Optional[Iterable[str]] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+    ):
+        self.machine = machine
+        self.geometry = machine.llc
+        self.target_accesses = target_accesses
+        self.seed = seed
+        self.workload_list: List[str] = (
+            list(workloads) if workloads is not None else workload_names()
+        )
+        self._artifacts: Dict[str, WorkloadArtifacts] = {}
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+
+    def _cache_paths(self, name: str):
+        stem = (
+            f"{name}-{self.machine.name}-t{self.machine.num_cores}"
+            f"-n{self.target_accesses}-s{self.seed}"
+        )
+        return (
+            self.cache_dir / f"{stem}.rllc.gz",
+            self.cache_dir / f"{stem}.json",
+        )
+
+    def _load_cached(self, name: str) -> Optional[WorkloadArtifacts]:
+        """Load one workload's artifacts from the disk cache, if present."""
+        if self.cache_dir is None:
+            return None
+        stream_path, stats_path = self._cache_paths(name)
+        if not (stream_path.exists() and stats_path.exists()):
+            return None
+        stats = json.loads(stats_path.read_text())
+        trace_fields = dict(stats["trace"])
+        trace_fields["per_thread_accesses"] = tuple(
+            trace_fields["per_thread_accesses"]
+        )
+        return WorkloadArtifacts(
+            workload=name,
+            trace_stats=TraceStatistics(**trace_fields),
+            hierarchy_stats=HierarchyStats(**stats["hierarchy"]),
+            stream=read_llc_stream(stream_path),
+        )
+
+    def _store_cached(self, artifacts: WorkloadArtifacts) -> None:
+        """Persist one workload's artifacts into the disk cache."""
+        if self.cache_dir is None:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        stream_path, stats_path = self._cache_paths(artifacts.workload)
+        write_llc_stream(artifacts.stream, stream_path)
+        stats_path.write_text(json.dumps({
+            "trace": dataclasses.asdict(artifacts.trace_stats),
+            "hierarchy": dataclasses.asdict(artifacts.hierarchy_stats),
+        }))
+
+    def artifacts(self, name: str) -> WorkloadArtifacts:
+        """Trace stats + hierarchy stats + LLC stream for one workload."""
+        if name not in self.workload_list:
+            raise ConfigError(
+                f"workload {name!r} not in this context ({self.workload_list})"
+            )
+        cached = self._artifacts.get(name)
+        if cached is not None:
+            return cached
+        cached = self._load_cached(name)
+        if cached is not None:
+            self._artifacts[name] = cached
+            return cached
+        model = get_workload(name)
+        trace = model.generate(
+            num_threads=self.machine.num_cores,
+            scale=self.machine.scale,
+            target_accesses=self.target_accesses,
+            seed=derive_seed(self.seed, "trace", name),
+        )
+        trace_stats = compute_trace_statistics(trace)
+        stream, hierarchy_stats = record_llc_stream(
+            trace, self.machine, seed=self.seed
+        )
+        artifacts = WorkloadArtifacts(
+            workload=name,
+            trace_stats=trace_stats,
+            hierarchy_stats=hierarchy_stats,
+            stream=stream,
+        )
+        self._artifacts[name] = artifacts
+        self._store_cached(artifacts)
+        return artifacts
+
+    def all_artifacts(self) -> Dict[str, WorkloadArtifacts]:
+        """Artifacts for every workload of the context."""
+        return {name: self.artifacts(name) for name in self.workload_list}
+
+    def characterize(self, name: str, policy: str = "lru"):
+        """Sharing characterization of one workload under ``policy``.
+
+        Returns a :class:`repro.characterization.CharacterizationReport`
+        (imported lazily — characterization sits above sim in the layering
+        and importing it eagerly here would close an import cycle).
+        """
+        from repro.characterization.report import characterize_stream
+
+        artifacts = self.artifacts(name)
+        return characterize_stream(
+            artifacts.stream, self.geometry, policy_name=policy, seed=self.seed
+        )
+
+    def compare_policies(
+        self, name: str, policies: Iterable[str], include_opt: bool = False
+    ) -> PolicyComparison:
+        """Replay one workload's stream under several policies."""
+        artifacts = self.artifacts(name)
+        results = {}
+        for policy in policies:
+            results[policy] = run_policy_on_stream(
+                artifacts.stream, self.geometry, policy, seed=self.seed
+            )
+        if include_opt:
+            results["opt"] = run_opt(artifacts.stream, self.geometry)
+        return PolicyComparison(stream_name=artifacts.stream.name, results=results)
+
+    def oracle_study(
+        self, name: str, base: str = "lru", mode: str = "both",
+        release: str = "budget", horizon_turnovers: float = 1.75,
+    ):
+        """Oracle-vs-base study for one workload.
+
+        Returns a :class:`repro.oracle.OracleStudyResult` (imported lazily;
+        the oracle package sits above sim in the layering).
+        """
+        from repro.oracle.runner import run_oracle_study
+
+        artifacts = self.artifacts(name)
+        return run_oracle_study(
+            artifacts.stream, self.geometry, base=base, mode=mode,
+            release=release, horizon_turnovers=horizon_turnovers,
+            seed=self.seed,
+        )
+
+
+_SHARED: Dict[tuple, ExperimentContext] = {}
+
+
+def shared_context(
+    profile_name: str = "scaled-4mb",
+    target_accesses: int = DEFAULT_TARGET_ACCESSES,
+    seed: int = DEFAULT_SEED,
+) -> ExperimentContext:
+    """Process-wide memoised context (benches share streams through this)."""
+    key = (profile_name, target_accesses, seed)
+    context = _SHARED.get(key)
+    if context is None:
+        context = ExperimentContext(
+            profile(profile_name), target_accesses=target_accesses, seed=seed
+        )
+        _SHARED[key] = context
+    return context

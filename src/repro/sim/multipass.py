@@ -1,0 +1,72 @@
+"""Multi-pass simulation helpers.
+
+The standard experiment pipeline is:
+
+1. :func:`record_llc_stream` — run the full hierarchy once (baseline LRU
+   LLC) over a workload trace, recording the demand stream that reaches the
+   LLC;
+2. :func:`run_policy_on_stream` / :func:`run_opt` — replay that stream
+   under each policy of interest (all passes see identical accesses).
+"""
+
+from typing import Tuple, Union
+
+from repro.cache.hierarchy import CmpHierarchy, HierarchyStats
+from repro.cache.stream import LlcStream
+from repro.common.config import CacheGeometry, MachineConfig
+from repro.common.rng import derive_seed
+from repro.policies.base import ReplacementPolicy
+from repro.policies.opt import BeladyOptPolicy, compute_next_use
+from repro.policies.registry import make_policy
+from repro.sim.engine import LlcOnlySimulator
+from repro.sim.results import LlcSimResult
+from repro.trace.trace import Trace
+
+
+def record_llc_stream(
+    trace: Trace,
+    machine: MachineConfig,
+    policy_name: str = "lru",
+    seed: int = 0,
+) -> Tuple[LlcStream, HierarchyStats]:
+    """Run the full hierarchy over ``trace`` and record the LLC stream.
+
+    Args:
+        trace: interleaved multi-thread trace.
+        machine: CMP configuration.
+        policy_name: LLC policy used *during recording* (LRU by default;
+            the recorded stream is then replayed under other policies).
+        seed: seed for stochastic recording policies.
+    """
+    policy = make_policy(policy_name, seed=derive_seed(seed, "record", policy_name))
+    hierarchy = CmpHierarchy(machine, policy, record_stream=True)
+    stats = hierarchy.run(trace)
+    stream = hierarchy.stream()
+    stream.name = f"{trace.name}@{machine.name}"
+    return stream, stats
+
+
+def run_policy_on_stream(
+    stream: LlcStream,
+    geometry: CacheGeometry,
+    policy: Union[str, ReplacementPolicy],
+    seed: int = 0,
+    observers: Tuple = (),
+) -> LlcSimResult:
+    """Replay ``stream`` under a policy given by name or instance."""
+    if isinstance(policy, str):
+        policy = make_policy(policy, seed=derive_seed(seed, "replay", policy))
+    simulator = LlcOnlySimulator(geometry, policy, observers=observers)
+    return simulator.run(stream)
+
+
+def run_opt(
+    stream: LlcStream,
+    geometry: CacheGeometry,
+    observers: Tuple = (),
+) -> LlcSimResult:
+    """Replay ``stream`` under Belady's OPT (offline optimal)."""
+    next_use = compute_next_use(stream.blocks)
+    policy = BeladyOptPolicy(next_use)
+    simulator = LlcOnlySimulator(geometry, policy, observers=observers)
+    return simulator.run(stream)

@@ -1,0 +1,51 @@
+"""Result records for simulation runs."""
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.common.stats import ratio
+
+
+@dataclass(frozen=True)
+class LlcSimResult:
+    """Outcome of replaying one LLC stream under one policy."""
+
+    policy: str
+    stream_name: str
+    accesses: int
+    hits: int
+    misses: int
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per access."""
+        return ratio(self.misses, self.accesses)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits per access."""
+        return ratio(self.hits, self.accesses)
+
+    def miss_reduction_vs(self, baseline: "LlcSimResult") -> float:
+        """Fractional miss reduction relative to ``baseline``.
+
+        Positive means fewer misses than the baseline. Streams must match
+        for the comparison to be meaningful; callers enforce that.
+        """
+        return ratio(baseline.misses - self.misses, baseline.misses)
+
+
+@dataclass
+class PolicyComparison:
+    """Results of several policies over one identical stream."""
+
+    stream_name: str
+    results: Dict[str, LlcSimResult]
+
+    def miss_reduction(self, policy: str, baseline: str = "lru") -> float:
+        """Miss reduction of ``policy`` relative to ``baseline``."""
+        return self.results[policy].miss_reduction_vs(self.results[baseline])
+
+    def policies(self):
+        """Policy names present, insertion-ordered."""
+        return list(self.results)

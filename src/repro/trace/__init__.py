@@ -1,0 +1,27 @@
+"""Trace substrate: access records, in-memory traces, file I/O, interleaving.
+
+A *trace* is the ordered sequence of memory accesses a multi-threaded
+application issues, globally interleaved across threads. Each access carries
+the issuing thread id, the program counter of the instruction, the byte
+address touched, and whether it was a write — exactly the information the
+paper's pin-based tracing captured, and all that the characterization,
+oracle, and predictor studies consume.
+"""
+
+from repro.trace.record import Access
+from repro.trace.trace import Trace, TraceBuilder, concatenate
+from repro.trace.io import read_trace, write_trace
+from repro.trace.interleave import interleave_streams
+from repro.trace.stats import TraceStatistics, compute_trace_statistics
+
+__all__ = [
+    "Access",
+    "Trace",
+    "TraceBuilder",
+    "concatenate",
+    "read_trace",
+    "write_trace",
+    "interleave_streams",
+    "TraceStatistics",
+    "compute_trace_statistics",
+]

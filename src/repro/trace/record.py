@@ -1,0 +1,29 @@
+"""The single-access record type.
+
+:class:`Access` is the user-facing record. The hot simulator loops never
+allocate these — they iterate the trace's parallel arrays directly — but
+APIs that hand individual accesses to user code (builders, filters, tests)
+use this named type for clarity.
+"""
+
+from typing import NamedTuple
+
+
+class Access(NamedTuple):
+    """One memory access of one thread.
+
+    Attributes:
+        tid: issuing thread id, ``0 <= tid < num_threads``.
+        pc: program counter of the memory instruction.
+        addr: byte address accessed.
+        is_write: True for a store, False for a load.
+    """
+
+    tid: int
+    pc: int
+    addr: int
+    is_write: bool
+
+    def block(self, block_bytes: int = 64) -> int:
+        """Block address containing this access."""
+        return self.addr // block_bytes

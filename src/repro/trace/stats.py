@@ -1,0 +1,105 @@
+"""Whole-trace statistics (pre-simulation characterization).
+
+These are properties of the raw access stream, independent of any cache:
+footprint, read/write mix, per-thread balance, and the *static* sharing
+profile — which blocks are ever touched by more than one thread. The
+cache-dependent (per-residency) sharing analysis lives in
+``repro.characterization``.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.common.addressing import BLOCK_BYTES_DEFAULT
+from repro.common.stats import ratio
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Summary statistics of one trace.
+
+    Attributes:
+        name: trace name.
+        num_accesses: total accesses.
+        num_threads: number of threads.
+        num_writes: store count.
+        footprint_blocks: distinct blocks touched.
+        shared_blocks: distinct blocks touched by >= 2 threads.
+        accesses_to_shared: accesses landing on those shared blocks.
+        per_thread_accesses: access count per thread id.
+        distinct_pcs: distinct program counters.
+    """
+
+    name: str
+    num_accesses: int
+    num_threads: int
+    num_writes: int
+    footprint_blocks: int
+    shared_blocks: int
+    accesses_to_shared: int
+    per_thread_accesses: Tuple[int, ...]
+    distinct_pcs: int
+
+    @property
+    def write_fraction(self) -> float:
+        """Stores as a fraction of all accesses."""
+        return ratio(self.num_writes, self.num_accesses)
+
+    @property
+    def shared_block_fraction(self) -> float:
+        """Fraction of the block footprint that is (statically) shared."""
+        return ratio(self.shared_blocks, self.footprint_blocks)
+
+    @property
+    def shared_access_fraction(self) -> float:
+        """Fraction of accesses that land on statically shared blocks."""
+        return ratio(self.accesses_to_shared, self.num_accesses)
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Footprint in bytes (block-granular)."""
+        return self.footprint_blocks * BLOCK_BYTES_DEFAULT
+
+
+def compute_trace_statistics(
+    trace: Trace, block_bytes: int = BLOCK_BYTES_DEFAULT
+) -> TraceStatistics:
+    """Single pass over ``trace`` computing :class:`TraceStatistics`."""
+    tids, pcs, addrs, writes = trace.columns()
+    num_threads = trace.num_threads
+
+    # Per block: bitmask of threads that touched it, and its access count.
+    toucher_mask: Dict[int, int] = {}
+    block_accesses: Dict[int, int] = {}
+    per_thread = [0] * num_threads
+    num_writes = 0
+    seen_pcs = set()
+
+    for i in range(len(tids)):
+        tid = tids[i]
+        block = addrs[i] // block_bytes
+        per_thread[tid] += 1
+        num_writes += writes[i]
+        seen_pcs.add(pcs[i])
+        toucher_mask[block] = toucher_mask.get(block, 0) | (1 << tid)
+        block_accesses[block] = block_accesses.get(block, 0) + 1
+
+    shared_blocks = 0
+    accesses_to_shared = 0
+    for block, mask in toucher_mask.items():
+        if mask & (mask - 1):  # more than one bit set => >= 2 threads
+            shared_blocks += 1
+            accesses_to_shared += block_accesses[block]
+
+    return TraceStatistics(
+        name=trace.name,
+        num_accesses=len(trace),
+        num_threads=num_threads,
+        num_writes=num_writes,
+        footprint_blocks=len(toucher_mask),
+        shared_blocks=shared_blocks,
+        accesses_to_shared=accesses_to_shared,
+        per_thread_accesses=tuple(per_thread),
+        distinct_pcs=len(seen_pcs),
+    )

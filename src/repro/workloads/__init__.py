@@ -1,0 +1,35 @@
+"""Synthetic multi-threaded workload models.
+
+The paper characterizes applications from PARSEC, SPLASH-2 and SPEC OMP via
+pin-collected memory traces. Those binaries/traces are not available here, so
+this package provides *application models*: parameterised generators that
+reproduce each application's sharing structure — which regions are private,
+which are read-only shared, which migrate between threads, how phases repeat
+— composed from a small library of reusable sharing kernels. The models are
+calibrated by footprint : LLC-capacity ratio and sharing mix, which is what
+the paper's analyses are sensitive to.
+
+Use :func:`get_workload` / :func:`iter_workloads` to obtain models and
+``model.generate(...)`` to produce a :class:`repro.trace.Trace`.
+"""
+
+from repro.workloads.base import GeneratorContext, WorkloadModel
+from repro.workloads.multiprogram import MultiprogramMix
+from repro.workloads.registry import (
+    SUITES,
+    get_workload,
+    iter_workloads,
+    workload_names,
+    workloads_in_suite,
+)
+
+__all__ = [
+    "GeneratorContext",
+    "WorkloadModel",
+    "MultiprogramMix",
+    "SUITES",
+    "get_workload",
+    "iter_workloads",
+    "workload_names",
+    "workloads_in_suite",
+]

@@ -1,0 +1,354 @@
+"""PARSEC application models.
+
+Footprints are expressed in 64-byte blocks *at full scale* (the paper's
+4MB-LLC machine has 65,536 LLC block frames) and divided by the generator
+scale. The sharing structure of each model follows the published PARSEC
+characterizations: blackscholes/swaptions nearly sharing-free, canneal
+capacity-bound with diffuse RW sharing, dedup/x264 pipeline sharing,
+streamcluster dominated by a read-shared point set, bodytrack task-parallel
+with a read-shared model, fluidanimate neighbour sharing plus particle
+migration.
+"""
+
+from repro.workloads.base import GeneratorContext, WorkloadModel
+from repro.workloads.kernels import (
+    emit_broadcast,
+    emit_halo_exchange,
+    emit_lock_hotspot,
+    emit_migratory,
+    emit_private_hotset,
+    emit_private_stream,
+    emit_producer_consumer,
+    emit_shared_readonly,
+    emit_shared_rw_random,
+    emit_task_queue,
+)
+
+
+class Blackscholes(WorkloadModel):
+    """Embarrassingly parallel option pricing; essentially no sharing."""
+
+    name = "blackscholes"
+    suite = "parsec"
+    description = "data-parallel option pricing: private streams + tiny shared input"
+
+    def setup(self, ctx: GeneratorContext) -> None:
+        options = ctx.regions.allocate("options", ctx.scaled(96 * 1024))
+        self.option_parts = options.split(ctx.num_threads)
+        self.params = ctx.regions.allocate("params", ctx.scaled(256))
+        self.pc_price = ctx.pcs.allocate()
+        self.pc_params = ctx.pcs.allocate()
+
+    def phase(self, ctx: GeneratorContext, iteration: int) -> None:
+        emit_shared_readonly(
+            ctx.streams, ctx.rng.spawn("params", iteration), self.params,
+            self.pc_params, accesses_per_thread=32, skew=1.0,
+        )
+        emit_private_stream(
+            ctx.streams, self.option_parts, self.pc_price,
+            write_fraction=0.25, rng=ctx.rng.spawn("price", iteration),
+        )
+
+
+class Bodytrack(WorkloadModel):
+    """Particle-filter body tracking: shared model, task queue, broadcasts."""
+
+    name = "bodytrack"
+    suite = "parsec"
+    description = "task-parallel tracking: read-shared body model + work queue"
+
+    def setup(self, ctx: GeneratorContext) -> None:
+        self.model = ctx.regions.allocate("bodymodel", ctx.scaled(32 * 1024))
+        self.frame = ctx.regions.allocate("frame", ctx.scaled(4 * 1024))
+        self.queue = ctx.regions.allocate("queue", ctx.scaled(64))
+        self.tasks = ctx.regions.allocate("tasks", ctx.scaled(96 * 1024))
+        scratch = ctx.regions.allocate("scratch", ctx.scaled(8 * 1024) * ctx.num_threads)
+        self.scratch_parts = scratch.split(ctx.num_threads)
+        self.pc_model = ctx.pcs.allocate()
+        self.pc_frame_w = ctx.pcs.allocate()
+        self.pc_frame_r = ctx.pcs.allocate()
+        self.pc_queue = ctx.pcs.allocate()
+        self.pc_task = ctx.pcs.allocate()
+        self.pc_scratch = ctx.pcs.allocate()
+
+    def phase(self, ctx: GeneratorContext, iteration: int) -> None:
+        emit_broadcast(
+            ctx.streams, self.frame, writer_tid=0,
+            pc_write=self.pc_frame_w, pc_read=self.pc_frame_r,
+        )
+        emit_shared_readonly(
+            ctx.streams, ctx.rng.spawn("model", iteration), self.model,
+            self.pc_model, accesses_per_thread=self.model.num_blocks, skew=1.2,
+        )
+        emit_task_queue(
+            ctx.streams, ctx.rng.spawn("queue", iteration), self.queue,
+            self.tasks, self.pc_queue, self.pc_task,
+            num_tasks=64 * ctx.num_threads, task_blocks=4,
+        )
+        emit_private_hotset(
+            ctx.streams, ctx.rng.spawn("scratch", iteration), self.scratch_parts,
+            self.pc_scratch, accesses_per_thread=1024, skew=1.2,
+        )
+
+
+class Canneal(WorkloadModel):
+    """Simulated annealing over a huge netlist: diffuse RW sharing."""
+
+    name = "canneal"
+    suite = "parsec"
+    description = "capacity-bound random RW access over an 8x-LLC netlist graph"
+
+    def setup(self, ctx: GeneratorContext) -> None:
+        self.graph = ctx.regions.allocate("netlist", ctx.scaled(512 * 1024))
+        scratch = ctx.regions.allocate("scratch", ctx.scaled(1024) * ctx.num_threads)
+        self.scratch_parts = scratch.split(ctx.num_threads)
+        self.pc_swap = ctx.pcs.allocate()
+        self.pc_scratch = ctx.pcs.allocate()
+
+    def phase(self, ctx: GeneratorContext, iteration: int) -> None:
+        emit_shared_rw_random(
+            ctx.streams, ctx.rng.spawn("swap", iteration), self.graph,
+            self.pc_swap, accesses_per_thread=4096, write_fraction=0.15, skew=1.3,
+        )
+        emit_private_hotset(
+            ctx.streams, ctx.rng.spawn("scratch", iteration), self.scratch_parts,
+            self.pc_scratch, accesses_per_thread=128,
+        )
+
+
+class Dedup(WorkloadModel):
+    """Pipelined compression: buffer hand-offs plus a global hash table."""
+
+    name = "dedup"
+    suite = "parsec"
+    description = "pipeline producer-consumer buffers + RW-shared hash table"
+
+    def setup(self, ctx: GeneratorContext) -> None:
+        buffers = ctx.regions.allocate("buffers", ctx.scaled(2 * 1024) * ctx.num_threads)
+        self.buffer_parts = buffers.split(ctx.num_threads)
+        self.hash_table = ctx.regions.allocate("hashtable", ctx.scaled(112 * 1024))
+        chunks = ctx.regions.allocate("chunks", ctx.scaled(4 * 1024) * ctx.num_threads)
+        self.chunk_parts = chunks.split(ctx.num_threads)
+        self.pc_produce = ctx.pcs.allocate()
+        self.pc_consume = ctx.pcs.allocate()
+        self.pc_hash = ctx.pcs.allocate()
+        self.pc_chunk = ctx.pcs.allocate()
+
+    def phase(self, ctx: GeneratorContext, iteration: int) -> None:
+        emit_producer_consumer(
+            ctx.streams, self.buffer_parts, self.pc_produce, self.pc_consume,
+            chunk_blocks=8,
+        )
+        emit_shared_rw_random(
+            ctx.streams, ctx.rng.spawn("hash", iteration), self.hash_table,
+            self.pc_hash, accesses_per_thread=1024, write_fraction=0.3, skew=1.1,
+        )
+        emit_private_hotset(
+            ctx.streams, ctx.rng.spawn("chunk", iteration), self.chunk_parts,
+            self.pc_chunk, accesses_per_thread=512,
+        )
+
+
+class Fluidanimate(WorkloadModel):
+    """SPH fluid simulation: stencil grid plus migrating particles."""
+
+    name = "fluidanimate"
+    suite = "parsec"
+    description = "halo-exchange grid + migratory particles + cell locks"
+
+    def setup(self, ctx: GeneratorContext) -> None:
+        self.grid = ctx.regions.allocate("grid", ctx.scaled(96 * 1024))
+        self.particles = ctx.regions.allocate("particles", ctx.scaled(16 * 1024))
+        self.locks = ctx.regions.allocate("locks", ctx.scaled(64))
+        self.row_blocks = max(4, ctx.scaled(32 * 1024) // 256)
+        self.pc_compute = ctx.pcs.allocate()
+        self.pc_halo = ctx.pcs.allocate()
+        self.pc_migrate = ctx.pcs.allocate()
+        self.pc_lock = ctx.pcs.allocate()
+
+    def phase(self, ctx: GeneratorContext, iteration: int) -> None:
+        emit_halo_exchange(
+            ctx.streams, self.grid, self.row_blocks, self.pc_compute, self.pc_halo,
+        )
+        emit_migratory(
+            ctx.streams, ctx.rng.spawn("migrate", iteration), self.particles,
+            self.pc_migrate, items=32 * ctx.num_threads, item_blocks=2, hops=2,
+        )
+        emit_lock_hotspot(
+            ctx.streams, ctx.rng.spawn("locks", iteration), self.locks,
+            self.pc_lock, rounds_per_thread=64,
+        )
+
+
+class Streamcluster(WorkloadModel):
+    """Online clustering: the whole point set is read-shared every pass."""
+
+    name = "streamcluster"
+    suite = "parsec"
+    description = "read-shared point set scanned by all threads each phase"
+
+    def setup(self, ctx: GeneratorContext) -> None:
+        self.points = ctx.regions.allocate("points", ctx.scaled(112 * 1024))
+        self.centers = ctx.regions.allocate("centers", ctx.scaled(1024))
+        self.locks = ctx.regions.allocate("locks", ctx.scaled(32))
+        scratch = ctx.regions.allocate("scratch", ctx.scaled(8 * 1024) * ctx.num_threads)
+        self.scratch_parts = scratch.split(ctx.num_threads)
+        self.pc_scratch = ctx.pcs.allocate()
+        self.pc_scan = ctx.pcs.allocate()
+        self.pc_center_w = ctx.pcs.allocate()
+        self.pc_center_r = ctx.pcs.allocate()
+        self.pc_lock = ctx.pcs.allocate()
+
+    def phase(self, ctx: GeneratorContext, iteration: int) -> None:
+        emit_broadcast(
+            ctx.streams, self.centers, writer_tid=iteration % ctx.num_threads,
+            pc_write=self.pc_center_w, pc_read=self.pc_center_r,
+        )
+        emit_shared_readonly(
+            ctx.streams, ctx.rng.spawn("scan", iteration), self.points,
+            self.pc_scan, accesses_per_thread=self.points.num_blocks // 2, skew=1.05,
+        )
+        emit_private_stream(ctx.streams, self.scratch_parts, self.pc_scratch)
+        emit_lock_hotspot(
+            ctx.streams, ctx.rng.spawn("locks", iteration), self.locks,
+            self.pc_lock, rounds_per_thread=32,
+        )
+
+
+class Swaptions(WorkloadModel):
+    """Monte-Carlo pricing: per-thread state, near-zero sharing."""
+
+    name = "swaptions"
+    suite = "parsec"
+    description = "per-thread Monte-Carlo working sets, tiny shared input"
+
+    def setup(self, ctx: GeneratorContext) -> None:
+        state = ctx.regions.allocate("mcstate", ctx.scaled(6 * 1024) * ctx.num_threads)
+        self.state_parts = state.split(ctx.num_threads)
+        self.inputs = ctx.regions.allocate("inputs", ctx.scaled(512))
+        self.pc_sim = ctx.pcs.allocate()
+        self.pc_input = ctx.pcs.allocate()
+
+    def phase(self, ctx: GeneratorContext, iteration: int) -> None:
+        emit_shared_readonly(
+            ctx.streams, ctx.rng.spawn("inputs", iteration), self.inputs,
+            self.pc_input, accesses_per_thread=16, skew=1.0,
+        )
+        emit_private_hotset(
+            ctx.streams, ctx.rng.spawn("sim", iteration), self.state_parts,
+            self.pc_sim, accesses_per_thread=2048, write_fraction=0.35, skew=1.5,
+        )
+
+
+class X264(WorkloadModel):
+    """Video encoding: reference frames broadcast, slice-row hand-offs."""
+
+    name = "x264"
+    suite = "parsec"
+    description = "broadcast reference frames + private current frame + row pipeline"
+
+    def setup(self, ctx: GeneratorContext) -> None:
+        self.reference = ctx.regions.allocate("reference", ctx.scaled(80 * 1024))
+        current = ctx.regions.allocate("current", ctx.scaled(96 * 1024))
+        self.current_parts = current.split(ctx.num_threads)
+        rows = ctx.regions.allocate("rows", ctx.scaled(1024) * ctx.num_threads)
+        self.row_parts = rows.split(ctx.num_threads)
+        self.pc_ref_w = ctx.pcs.allocate()
+        self.pc_ref_r = ctx.pcs.allocate()
+        self.pc_encode = ctx.pcs.allocate()
+        self.pc_row_w = ctx.pcs.allocate()
+        self.pc_row_r = ctx.pcs.allocate()
+
+    def phase(self, ctx: GeneratorContext, iteration: int) -> None:
+        emit_broadcast(
+            ctx.streams, self.reference, writer_tid=iteration % ctx.num_threads,
+            pc_write=self.pc_ref_w, pc_read=self.pc_ref_r,
+        )
+        emit_private_stream(
+            ctx.streams, self.current_parts, self.pc_encode,
+            write_fraction=0.4, rng=ctx.rng.spawn("encode", iteration),
+        )
+        emit_producer_consumer(
+            ctx.streams, self.row_parts, self.pc_row_w, self.pc_row_r,
+            chunk_blocks=4,
+        )
+
+
+class Ferret(WorkloadModel):
+    """Content-based image search: deep pipeline over a read-shared database."""
+
+    name = "ferret"
+    suite = "parsec"
+    description = "pipeline stage hand-offs + read-shared feature database"
+
+    def setup(self, ctx: GeneratorContext) -> None:
+        buffers = ctx.regions.allocate("buffers", ctx.scaled(3 * 1024) * ctx.num_threads)
+        self.buffer_parts = buffers.split(ctx.num_threads)
+        self.database = ctx.regions.allocate("database", ctx.scaled(96 * 1024))
+        queries = ctx.regions.allocate("queries", ctx.scaled(2 * 1024) * ctx.num_threads)
+        self.query_parts = queries.split(ctx.num_threads)
+        self.pc_produce = ctx.pcs.allocate()
+        self.pc_consume = ctx.pcs.allocate()
+        self.pc_lookup = ctx.pcs.allocate()
+        self.pc_query = ctx.pcs.allocate()
+
+    def phase(self, ctx: GeneratorContext, iteration: int) -> None:
+        emit_producer_consumer(
+            ctx.streams, self.buffer_parts, self.pc_produce, self.pc_consume,
+            chunk_blocks=8, hops=2,
+        )
+        emit_shared_readonly(
+            ctx.streams, ctx.rng.spawn("lookup", iteration), self.database,
+            self.pc_lookup, accesses_per_thread=1024, skew=1.2,
+        )
+        emit_private_hotset(
+            ctx.streams, ctx.rng.spawn("query", iteration), self.query_parts,
+            self.pc_query, accesses_per_thread=384,
+        )
+
+
+class Facesim(WorkloadModel):
+    """Face simulation: mesh stencil plus migratory contact particles."""
+
+    name = "facesim"
+    suite = "parsec"
+    description = "halo-exchange face mesh + migratory contact nodes"
+
+    def setup(self, ctx: GeneratorContext) -> None:
+        self.mesh = ctx.regions.allocate("mesh", ctx.scaled(80 * 1024))
+        self.contacts = ctx.regions.allocate("contacts", ctx.scaled(12 * 1024))
+        scratch = ctx.regions.allocate("scratch", ctx.scaled(4 * 1024) * ctx.num_threads)
+        self.scratch_parts = scratch.split(ctx.num_threads)
+        self.row_blocks = max(4, ctx.scaled(40 * 1024) // 256)
+        self.pc_compute = ctx.pcs.allocate()
+        self.pc_halo = ctx.pcs.allocate()
+        self.pc_contact = ctx.pcs.allocate()
+        self.pc_scratch = ctx.pcs.allocate()
+
+    def phase(self, ctx: GeneratorContext, iteration: int) -> None:
+        emit_halo_exchange(
+            ctx.streams, self.mesh, self.row_blocks, self.pc_compute,
+            self.pc_halo,
+        )
+        emit_migratory(
+            ctx.streams, ctx.rng.spawn("contact", iteration), self.contacts,
+            self.pc_contact, items=24 * ctx.num_threads, item_blocks=2, hops=2,
+        )
+        emit_private_hotset(
+            ctx.streams, ctx.rng.spawn("scratch", iteration), self.scratch_parts,
+            self.pc_scratch, accesses_per_thread=256,
+        )
+
+
+PARSEC_MODELS = (
+    Blackscholes,
+    Bodytrack,
+    Canneal,
+    Dedup,
+    Facesim,
+    Ferret,
+    Fluidanimate,
+    Streamcluster,
+    Swaptions,
+    X264,
+)

@@ -1,0 +1,59 @@
+"""Registry of all application models, keyed by name and by suite."""
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.common.errors import ConfigError
+from repro.workloads.base import WorkloadModel
+from repro.workloads.parsec import PARSEC_MODELS
+from repro.workloads.specomp import SPECOMP_MODELS
+from repro.workloads.splash2 import SPLASH2_MODELS
+
+SUITES: Tuple[str, ...] = ("parsec", "splash2", "specomp")
+"""The three suites the paper draws applications from."""
+
+_ALL_MODEL_CLASSES = tuple(PARSEC_MODELS) + tuple(SPLASH2_MODELS) + tuple(SPECOMP_MODELS)
+
+_BY_NAME: Dict[str, type] = {cls.name: cls for cls in _ALL_MODEL_CLASSES}
+
+if len(_BY_NAME) != len(_ALL_MODEL_CLASSES):
+    raise RuntimeError("duplicate workload model names in registry")
+
+
+def workload_names() -> List[str]:
+    """All model names, suite order then alphabetical within suite."""
+    names = []
+    for suite in SUITES:
+        names.extend(sorted(cls.name for cls in _ALL_MODEL_CLASSES if cls.suite == suite))
+    return names
+
+
+def get_workload(name: str) -> WorkloadModel:
+    """Instantiate the model registered under ``name``.
+
+    Raises:
+        ConfigError: for an unknown name.
+    """
+    try:
+        cls = _BY_NAME[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown workload {name!r}; choose from {workload_names()}"
+        ) from None
+    return cls()
+
+
+def workloads_in_suite(suite: str) -> List[WorkloadModel]:
+    """Instantiate every model of one suite.
+
+    Raises:
+        ConfigError: for an unknown suite.
+    """
+    if suite not in SUITES:
+        raise ConfigError(f"unknown suite {suite!r}; choose from {SUITES}")
+    return [cls() for cls in _ALL_MODEL_CLASSES if cls.suite == suite]
+
+
+def iter_workloads() -> Iterator[WorkloadModel]:
+    """Instantiate every registered model, in :func:`workload_names` order."""
+    for name in workload_names():
+        yield get_workload(name)

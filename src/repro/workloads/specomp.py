@@ -1,0 +1,107 @@
+"""SPEC OMP application models.
+
+Two representative OpenMP HPC codes: equake (sparse FEM earthquake
+simulation — partitioned matrix with a read-shared vector) and swim
+(shallow-water stencil — large grids with boundary-row sharing).
+"""
+
+from repro.workloads.base import GeneratorContext, WorkloadModel
+from repro.workloads.kernels import (
+    emit_halo_exchange,
+    emit_private_stream,
+    emit_reduction,
+    emit_shared_readonly,
+)
+
+
+class Equake(WorkloadModel):
+    """Sparse matrix-vector FEM kernel: private rows, shared vector."""
+
+    name = "equake"
+    suite = "specomp"
+    description = "partitioned sparse matrix stream + read-shared vector + halo grid"
+
+    def setup(self, ctx: GeneratorContext) -> None:
+        matrix = ctx.regions.allocate("matrix", ctx.scaled(96 * 1024))
+        self.matrix_parts = matrix.split(ctx.num_threads)
+        self.vector = ctx.regions.allocate("vector", ctx.scaled(80 * 1024))
+        self.mesh = ctx.regions.allocate("mesh", ctx.scaled(48 * 1024))
+        partials = ctx.regions.allocate("partials", ctx.scaled(128) * ctx.num_threads)
+        self.partial_parts = partials.split(ctx.num_threads)
+        self.row_blocks = max(4, ctx.scaled(48 * 1024) // 512)
+        self.pc_matrix = ctx.pcs.allocate()
+        self.pc_vector = ctx.pcs.allocate()
+        self.pc_compute = ctx.pcs.allocate()
+        self.pc_halo = ctx.pcs.allocate()
+        self.pc_partial_w = ctx.pcs.allocate()
+        self.pc_partial_r = ctx.pcs.allocate()
+
+    def phase(self, ctx: GeneratorContext, iteration: int) -> None:
+        emit_private_stream(ctx.streams, self.matrix_parts, self.pc_matrix)
+        emit_shared_readonly(
+            ctx.streams, ctx.rng.spawn("vector", iteration), self.vector,
+            self.pc_vector, accesses_per_thread=2048, skew=1.4,
+        )
+        emit_halo_exchange(
+            ctx.streams, self.mesh, self.row_blocks, self.pc_compute, self.pc_halo,
+        )
+        emit_reduction(
+            ctx.streams, self.partial_parts, self.pc_partial_w, self.pc_partial_r,
+        )
+
+
+class Swim(WorkloadModel):
+    """Shallow-water stencil: three big grids, edge-only sharing."""
+
+    name = "swim"
+    suite = "specomp"
+    description = "three halo-exchange grids; sharing confined to band edges"
+
+    def setup(self, ctx: GeneratorContext) -> None:
+        self.grids = [
+            ctx.regions.allocate(f"grid_{label}", ctx.scaled(96 * 1024))
+            for label in ("u", "v", "p")
+        ]
+        self.row_blocks = max(4, ctx.scaled(48 * 1024) // 512)
+        self.pc_compute = [ctx.pcs.allocate() for __ in self.grids]
+        self.pc_halo = [ctx.pcs.allocate() for __ in self.grids]
+
+    def phase(self, ctx: GeneratorContext, iteration: int) -> None:
+        for grid, pc_compute, pc_halo in zip(self.grids, self.pc_compute, self.pc_halo):
+            emit_halo_exchange(ctx.streams, grid, self.row_blocks, pc_compute, pc_halo)
+
+
+class Applu(WorkloadModel):
+    """SSOR solver on a block-structured grid: wavefront halo sharing."""
+
+    name = "applu"
+    suite = "specomp"
+    description = "two halo-exchange solver grids + read-shared coefficients"
+
+    def setup(self, ctx: GeneratorContext) -> None:
+        self.grid_u = ctx.regions.allocate("grid_u", ctx.scaled(80 * 1024))
+        self.grid_r = ctx.regions.allocate("grid_r", ctx.scaled(80 * 1024))
+        self.coefficients = ctx.regions.allocate("coeffs", ctx.scaled(8 * 1024))
+        self.row_blocks = max(4, ctx.scaled(40 * 1024) // 512)
+        self.pc_sweep_u = ctx.pcs.allocate()
+        self.pc_halo_u = ctx.pcs.allocate()
+        self.pc_sweep_r = ctx.pcs.allocate()
+        self.pc_halo_r = ctx.pcs.allocate()
+        self.pc_coeff = ctx.pcs.allocate()
+
+    def phase(self, ctx: GeneratorContext, iteration: int) -> None:
+        emit_shared_readonly(
+            ctx.streams, ctx.rng.spawn("coeff", iteration), self.coefficients,
+            self.pc_coeff, accesses_per_thread=512, skew=1.5,
+        )
+        emit_halo_exchange(
+            ctx.streams, self.grid_u, self.row_blocks,
+            self.pc_sweep_u, self.pc_halo_u,
+        )
+        emit_halo_exchange(
+            ctx.streams, self.grid_r, self.row_blocks,
+            self.pc_sweep_r, self.pc_halo_r,
+        )
+
+
+SPECOMP_MODELS = (Applu, Equake, Swim)

@@ -1,0 +1,119 @@
+"""Tests for the analysis/reporting helpers."""
+
+import pytest
+
+from repro.analysis.aggregate import amean, append_summary_rows, gmean_speedups
+from repro.analysis.csvout import write_csv
+from repro.analysis.series import FigureSeries, render_series
+from repro.analysis.tables import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_float_precision(self):
+        assert format_cell(0.123456) == "0.1235"
+        assert format_cell(0.1, float_digits=2) == "0.10"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_int_and_str(self):
+        assert format_cell(42) == "42"
+        assert format_cell("x") == "x"
+
+
+class TestRenderTable:
+    def test_alignment_and_structure(self):
+        text = render_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("| name")
+        assert set(lines[1]) <= {"|", "-"}
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title(self):
+        text = render_table(["h"], [["x"]], title="T1")
+        assert text.splitlines()[0] == "T1"
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_markdown_compatible(self):
+        text = render_table(["a", "b"], [[1, 2]])
+        assert "| a | b |" in text.replace("  ", " ")
+
+
+class TestAggregate:
+    def test_amean(self):
+        assert amean([1.0, 2.0, 3.0]) == 2.0
+        assert amean([]) == 0.0
+
+    def test_gmean(self):
+        assert gmean_speedups([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_append_summary_rows(self):
+        rows = [["a", 1.0, 10], ["b", 3.0, 20]]
+        append_summary_rows(rows, numeric_columns=[1], label="avg")
+        assert rows[-1][0] == "avg"
+        assert rows[-1][1] == 2.0
+        assert rows[-1][2] == ""
+
+    def test_append_summary_empty(self):
+        rows = []
+        assert append_summary_rows(rows, [1]) == []
+
+
+class TestCsvOut:
+    def test_writes_headers_and_rows(self, tmp_path):
+        path = write_csv(tmp_path / "out" / "t.csv", ["a", "b"], [[1, 2], [3, 4]])
+        content = path.read_text().strip().splitlines()
+        assert content == ["a,b", "1,2", "3,4"]
+
+
+class TestFigureSeries:
+    def test_add_points_and_columns(self):
+        figure = FigureSeries("F1", "workload")
+        figure.add_point("canneal", "lru", 0.5)
+        figure.add_point("canneal", "opt", 0.3)
+        figure.add_point("dedup", "lru", 0.6)
+        figure.add_point("dedup", "opt", 0.4)
+        assert figure.x_values == ["canneal", "dedup"]
+        assert figure.column("opt") == [0.3, 0.4]
+
+    def test_validate_catches_ragged(self):
+        figure = FigureSeries("F1", "x")
+        figure.add_point("a", "s1", 1.0)
+        figure.add_point("b", "s1", 2.0)
+        figure.add_point("a", "s2", 1.0)  # s2 missing point for "b"
+        with pytest.raises(ValueError):
+            figure.validate()
+
+    def test_render(self):
+        figure = FigureSeries("F9", "app")
+        figure.add_point("a", "metric", 0.25)
+        text = render_series(figure)
+        assert "[F9]" in text
+        assert "0.2500" in text
+
+
+class TestGroupMeans:
+    def test_per_group_rows(self):
+        from repro.analysis.aggregate import append_group_means
+
+        rows = [["a1", 1.0], ["a2", 3.0], ["b1", 10.0]]
+        append_group_means(rows, [1], group_of=lambda name: name[0])
+        assert rows[-2] == ["mean/a", 2.0]
+        assert rows[-1] == ["mean/b", 10.0]
+
+    def test_empty(self):
+        from repro.analysis.aggregate import append_group_means
+
+        assert append_group_means([], [1], group_of=str) == []
+
+    def test_group_order_is_first_appearance(self):
+        from repro.analysis.aggregate import append_group_means
+
+        rows = [["b1", 1.0], ["a1", 2.0], ["b2", 3.0]]
+        append_group_means(rows, [1], group_of=lambda name: name[0])
+        assert [row[0] for row in rows[-2:]] == ["mean/b", "mean/a"]

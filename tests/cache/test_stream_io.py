@@ -1,0 +1,78 @@
+"""Tests for LLC-stream persistence."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.stream_io import read_llc_stream, write_llc_stream
+from repro.common.errors import TraceError
+from repro.trace.io import write_trace
+from repro.trace.trace import Trace
+from repro.trace.record import Access
+from tests.conftest import make_stream
+
+
+class TestRoundtrip:
+    def test_plain(self, tmp_path):
+        stream = make_stream([(0, 0x1, 10, False), (3, 0x2, 11, True)],
+                             name="rt")
+        path = tmp_path / "s.rllc"
+        write_llc_stream(stream, path)
+        loaded = read_llc_stream(path)
+        assert list(loaded) == list(stream)
+        assert loaded.name == "rt"
+
+    def test_gzip(self, tmp_path):
+        stream = make_stream([(0, 0, i % 7, False) for i in range(5000)])
+        plain, gz = tmp_path / "s.rllc", tmp_path / "s.rllc.gz"
+        write_llc_stream(stream, plain)
+        write_llc_stream(stream, gz)
+        assert list(read_llc_stream(gz)) == list(stream)
+        assert gz.stat().st_size < plain.stat().st_size
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "e.rllc"
+        write_llc_stream(make_stream([]), path)
+        assert len(read_llc_stream(path)) == 0
+
+    @settings(max_examples=15)
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=7), st.just(5),
+                  st.integers(min_value=0, max_value=1 << 50), st.booleans()),
+        max_size=40,
+    ))
+    def test_roundtrip_property(self, accesses):
+        import tempfile
+        from pathlib import Path
+
+        stream = make_stream(accesses)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "p.rllc"
+            write_llc_stream(stream, path)
+            assert list(read_llc_stream(path)) == list(stream)
+
+
+class TestErrors:
+    def test_rejects_trace_files(self, tmp_path):
+        """A trace file must not silently load as an LLC stream."""
+        trace = Trace.from_accesses([Access(0, 1, 2, False)])
+        path = tmp_path / "t.rtrc"
+        write_trace(trace, path)
+        with pytest.raises(TraceError, match="not an LLC stream"):
+            read_llc_stream(path)
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "v.rllc"
+        path.write_bytes(struct.pack("<4sIQII", b"RLLC", 9, 0, 0, 0))
+        with pytest.raises(TraceError, match="version"):
+            read_llc_stream(path)
+
+    def test_truncated(self, tmp_path):
+        stream = make_stream([(0, 0, i, False) for i in range(50)])
+        path = tmp_path / "t.rllc"
+        write_llc_stream(stream, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-20])
+        with pytest.raises(TraceError, match="truncated"):
+            read_llc_stream(path)

@@ -1,0 +1,104 @@
+"""Tests for the sharing classifier and hit breakdown."""
+
+import pytest
+
+from repro.characterization.hits import HitBreakdown, SharingClassifier, popcount
+from repro.characterization.report import characterize_stream
+from repro.common.config import CacheGeometry
+from repro.policies.lru import LruPolicy
+from repro.sim.engine import LlcOnlySimulator
+from tests.conftest import make_stream
+
+GEOMETRY = CacheGeometry(2 * 2 * 64, 2)
+
+
+def classify(accesses):
+    classifier = SharingClassifier()
+    simulator = LlcOnlySimulator(GEOMETRY, LruPolicy(), observers=(classifier,))
+    simulator.run(make_stream(accesses))
+    return classifier.breakdown
+
+
+class TestPopcount:
+    def test_values(self):
+        assert popcount(0) == 0
+        assert popcount(0b1) == 1
+        assert popcount(0b1011) == 3
+        assert popcount(0xFF) == 8
+
+
+class TestSharingClassifier:
+    def test_private_residency(self):
+        breakdown = classify([(0, 0, 0, False), (0, 0, 0, False)])
+        assert breakdown.residencies == 1
+        assert breakdown.shared_residencies == 0
+        assert breakdown.private_residencies == 1
+        assert breakdown.hits == 1
+        assert breakdown.private_hits == 1
+
+    def test_read_only_shared_residency(self):
+        breakdown = classify([(0, 0, 0, False), (1, 0, 0, False)])
+        assert breakdown.shared_residencies == 1
+        assert breakdown.ro_shared_residencies == 1
+        assert breakdown.rw_shared_residencies == 0
+        assert breakdown.shared_hits == 1
+        assert breakdown.ro_shared_hits == 1
+
+    def test_read_write_shared_residency(self):
+        breakdown = classify([(0, 0, 0, True), (1, 0, 0, False)])
+        assert breakdown.rw_shared_residencies == 1
+        assert breakdown.ro_shared_residencies == 0
+
+    def test_write_by_second_core_is_rw(self):
+        breakdown = classify([(0, 0, 0, False), (1, 0, 0, True)])
+        assert breakdown.rw_shared_residencies == 1
+
+    def test_dead_residencies(self):
+        breakdown = classify([(0, 0, 0, False), (0, 0, 1, False)])
+        assert breakdown.dead_residencies == 2
+        assert breakdown.dead_private_residencies == 2
+        assert breakdown.dead_fill_fraction == 1.0
+
+    def test_degree_histogram(self):
+        breakdown = classify([
+            (0, 0, 0, False), (1, 0, 0, False), (2, 0, 0, False),  # degree 3
+            (0, 0, 1, False),                                       # degree 1
+        ])
+        assert breakdown.degree_residencies == {3: 1, 1: 1}
+        assert breakdown.degree_hits[3] == 2
+
+    def test_fractions(self):
+        breakdown = classify([
+            (0, 0, 0, False), (1, 0, 0, False), (1, 0, 0, False),  # shared, 2 hits
+            (0, 0, 1, False), (0, 0, 1, False),                     # private, 1 hit
+        ])
+        assert breakdown.shared_residency_fraction == 0.5
+        assert breakdown.shared_hit_fraction == pytest.approx(2 / 3)
+        # Shared residencies earn 2 hits/residency vs 1.5 overall.
+        assert breakdown.hit_density_ratio == pytest.approx(2 / 1.5)
+
+    def test_empty_run(self):
+        breakdown = classify([])
+        assert breakdown.residencies == 0
+        assert breakdown.shared_hit_fraction == 0.0
+        assert breakdown.hit_density_ratio == 0.0
+
+
+class TestCharacterizeStream:
+    def test_bundles_classifier_and_phases(self):
+        accesses = [(0, 0, 0, False), (1, 0, 0, False), (0, 0, 1, False)]
+        report = characterize_stream(make_stream(accesses), GEOMETRY)
+        assert report.result.accesses == 3
+        assert report.breakdown.residencies == 2
+        assert report.phases.transitions == 0  # single residency per block
+
+    def test_phase_tracking_optional(self):
+        report = characterize_stream(make_stream([(0, 0, 0, False)]), GEOMETRY,
+                                     track_phases=False)
+        assert report.phases.transitions == 0
+
+    def test_policy_affects_residencies(self):
+        accesses = [(0, 0, b % 6, False) for b in range(60)]
+        lru = characterize_stream(make_stream(accesses), GEOMETRY, "lru")
+        lip = characterize_stream(make_stream(accesses), GEOMETRY, "lip")
+        assert lru.result.misses != lip.result.misses

@@ -1,0 +1,81 @@
+"""Tests for the reuse-distance profiler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.characterization.reuse import ReuseDistanceProfiler
+from repro.common.errors import ConfigError
+
+
+def lru_fully_assoc_misses(blocks, capacity):
+    """Reference: directly simulated fully-associative LRU."""
+    stack = []
+    misses = 0
+    for block in blocks:
+        if block in stack:
+            stack.remove(block)
+        else:
+            misses += 1
+            if len(stack) == capacity:
+                stack.pop()
+        stack.insert(0, block)
+    return misses
+
+
+class TestReuseDistanceProfiler:
+    def test_cold_misses_are_far(self):
+        profiler = ReuseDistanceProfiler().profile([1, 2, 3])
+        assert profiler.histogram == {ReuseDistanceProfiler.FAR: 3}
+
+    def test_distances(self):
+        profiler = ReuseDistanceProfiler().profile([1, 2, 1, 3, 2, 1])
+        # 1 cold, 2 cold, 1@d1, 3 cold, 2@d2, 1@d2
+        assert profiler.histogram[1] == 1
+        assert profiler.histogram[2] == 2
+        assert profiler.histogram[ReuseDistanceProfiler.FAR] == 3
+
+    def test_immediate_reuse_is_distance_zero(self):
+        profiler = ReuseDistanceProfiler().profile([1, 1])
+        assert profiler.histogram[0] == 1
+
+    def test_misses_at_matches_direct_lru(self):
+        blocks = [1, 2, 3, 1, 4, 2, 5, 1, 3, 3, 2, 6, 1]
+        profiler = ReuseDistanceProfiler().profile(blocks)
+        for capacity in (1, 2, 3, 4, 8):
+            assert profiler.misses_at(capacity) == lru_fully_assoc_misses(
+                blocks, capacity
+            )
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=12), max_size=150),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_property_matches_direct_lru(self, blocks, capacity):
+        profiler = ReuseDistanceProfiler().profile(blocks)
+        assert profiler.misses_at(capacity) == lru_fully_assoc_misses(
+            blocks, capacity
+        )
+
+    def test_miss_ratio(self):
+        profiler = ReuseDistanceProfiler().profile([1, 1, 1, 2])
+        assert profiler.miss_ratio_at(4) == 0.5
+
+    def test_depth_cap_lumps_far(self):
+        profiler = ReuseDistanceProfiler(max_depth=2)
+        profiler.profile([1, 2, 3, 1])  # 1's reuse distance 2 >= cap
+        assert profiler.histogram[ReuseDistanceProfiler.FAR] == 4
+
+    def test_capacity_beyond_depth_rejected(self):
+        profiler = ReuseDistanceProfiler(max_depth=4)
+        with pytest.raises(ConfigError):
+            profiler.misses_at(5)
+
+    def test_invalid_depth(self):
+        with pytest.raises(ConfigError):
+            ReuseDistanceProfiler(max_depth=0)
+
+    def test_access_returns_distance(self):
+        profiler = ReuseDistanceProfiler()
+        assert profiler.access(1) == ReuseDistanceProfiler.FAR
+        assert profiler.access(1) == 0

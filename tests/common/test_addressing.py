@@ -1,0 +1,75 @@
+"""Tests for repro.common.addressing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.addressing import (
+    BLOCK_BYTES_DEFAULT,
+    block_address,
+    block_of,
+    byte_address,
+    is_power_of_two,
+    log2_exact,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_accepts_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_rejects_zero(self):
+        assert not is_power_of_two(0)
+
+    def test_rejects_negative(self):
+        assert not is_power_of_two(-4)
+
+    def test_rejects_non_powers(self):
+        for value in (3, 5, 6, 7, 9, 12, 100, 1000):
+            assert not is_power_of_two(value)
+
+
+class TestLog2Exact:
+    def test_known_values(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(2) == 1
+        assert log2_exact(64) == 6
+        assert log2_exact(65536) == 16
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            log2_exact(48)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            log2_exact(0)
+
+    @given(st.integers(min_value=0, max_value=60))
+    def test_roundtrip_with_shift(self, exponent):
+        assert log2_exact(1 << exponent) == exponent
+
+
+class TestBlockConversions:
+    def test_block_of_default_block_size(self):
+        assert block_of(0) == 0
+        assert block_of(63) == 0
+        assert block_of(64) == 1
+        assert block_of(130) == 2
+
+    def test_block_of_custom_block_size(self):
+        assert block_of(256, block_bytes=128) == 2
+
+    def test_block_address_is_alias(self):
+        assert block_address(1000) == block_of(1000)
+
+    def test_byte_address_inverts_block_of_for_aligned(self):
+        assert byte_address(5) == 5 * BLOCK_BYTES_DEFAULT
+
+    @given(st.integers(min_value=0, max_value=1 << 48))
+    def test_block_of_byte_address_roundtrip(self, block):
+        assert block_of(byte_address(block)) == block
+
+    @given(st.integers(min_value=0, max_value=1 << 48))
+    def test_block_of_stable_within_block(self, addr):
+        base = block_of(addr)
+        assert block_of(addr - addr % BLOCK_BYTES_DEFAULT) == base

@@ -1,0 +1,142 @@
+"""Tests for repro.common.config."""
+
+import pytest
+
+from repro.common.config import (
+    KB,
+    MB,
+    SCALE_FACTOR,
+    CacheGeometry,
+    MachineConfig,
+    PROFILE_NAMES,
+    full_4mb,
+    full_8mb,
+    profile,
+    scaled_4mb,
+    scaled_8mb,
+)
+from repro.common.errors import ConfigError
+
+
+class TestCacheGeometry:
+    def test_derived_quantities(self):
+        geometry = CacheGeometry(4 * MB, 16, 64)
+        assert geometry.num_sets == 4096
+        assert geometry.num_blocks == 65536
+        assert geometry.set_index_bits == 12
+
+    def test_set_index_wraps_block_address(self):
+        geometry = CacheGeometry(2048, 4, 64)  # 8 sets
+        assert geometry.set_index(0) == 0
+        assert geometry.set_index(8) == 0
+        assert geometry.set_index(13) == 5
+
+    def test_tag_strips_index_bits(self):
+        geometry = CacheGeometry(2048, 4, 64)  # 8 sets -> 3 index bits
+        assert geometry.tag(0b101_011) == 0b101
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(1024, 0, 64)
+
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(1024, 4, 48)
+
+    def test_rejects_misaligned_capacity(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(1000, 4, 64)
+
+    def test_rejects_non_power_of_two_sets(self):
+        # 3 sets: 3 * 4 * 64 = 768 bytes.
+        with pytest.raises(ConfigError):
+            CacheGeometry(768, 4, 64)
+
+    def test_describe_mb_and_kb(self):
+        assert "4MB 16-way 64B" == CacheGeometry(4 * MB, 16).describe()
+        assert "256KB 8-way 64B" == CacheGeometry(256 * KB, 8).describe()
+
+
+class TestMachineConfig:
+    def test_paper_full_profiles(self):
+        machine = full_4mb()
+        assert machine.num_cores == 8
+        assert machine.llc.size_bytes == 4 * MB
+        assert machine.llc.ways == 16
+        assert machine.scale == 1
+        assert full_8mb().llc.size_bytes == 8 * MB
+
+    def test_scaled_profiles_divide_every_level(self):
+        full, scaled = full_4mb(), scaled_4mb()
+        assert scaled.l1.size_bytes * SCALE_FACTOR == full.l1.size_bytes
+        assert scaled.l2.size_bytes * SCALE_FACTOR == full.l2.size_bytes
+        assert scaled.llc.size_bytes * SCALE_FACTOR == full.llc.size_bytes
+        assert scaled.scale == SCALE_FACTOR
+
+    def test_scaled_8mb_llc_is_double_scaled_4mb(self):
+        assert scaled_8mb().llc.size_bytes == 2 * scaled_4mb().llc.size_bytes
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigError):
+            MachineConfig("bad", 0, CacheGeometry(512, 4),
+                          CacheGeometry(1024, 4), CacheGeometry(4096, 8))
+
+    def test_rejects_mixed_block_sizes(self):
+        with pytest.raises(ConfigError):
+            MachineConfig("bad", 2, CacheGeometry(512, 4, 64),
+                          CacheGeometry(2048, 4, 128), CacheGeometry(8192, 8, 64))
+
+    def test_rejects_inverted_hierarchy(self):
+        with pytest.raises(ConfigError):
+            MachineConfig("bad", 2, CacheGeometry(2048, 4),
+                          CacheGeometry(1024, 4), CacheGeometry(8192, 8))
+
+    def test_rejects_llc_smaller_than_private_sum(self):
+        # 8 cores x 1KB L2 = 8KB > 4KB LLC violates inclusion.
+        with pytest.raises(ConfigError):
+            MachineConfig("bad", 8, CacheGeometry(512, 4),
+                          CacheGeometry(1024, 4), CacheGeometry(4096, 8))
+
+    def test_with_llc_size(self):
+        machine = scaled_4mb()
+        bigger = machine.with_llc_size(machine.llc.size_bytes * 2)
+        assert bigger.llc.size_bytes == 2 * machine.llc.size_bytes
+        assert bigger.llc.ways == machine.llc.ways
+        assert bigger.l2 == machine.l2
+
+    def test_describe_mentions_cores_and_llc(self):
+        text = full_4mb().describe()
+        assert "8" in text
+        assert "4MB" in text
+
+    def test_block_bytes_property(self):
+        assert full_4mb().block_bytes == 64
+
+
+class TestProfileLookup:
+    def test_all_names_resolve(self):
+        for name in PROFILE_NAMES:
+            assert profile(name).name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigError):
+            profile("mega-llc")
+
+    def test_core_count_override(self):
+        assert profile("scaled-4mb", num_cores=4).num_cores == 4
+
+
+class TestFullProfileGeometry:
+    def test_paper_llc_set_counts(self):
+        assert full_4mb().llc.num_sets == 4096
+        assert full_8mb().llc.num_sets == 8192
+        assert full_4mb().llc.num_blocks == 65536
+
+    def test_paper_private_levels(self):
+        machine = full_4mb()
+        assert machine.l1.num_sets == 64      # 32KB 8-way
+        assert machine.l2.num_sets == 512     # 256KB 8-way
+
+    def test_scaled_preserves_associativity(self):
+        assert scaled_4mb().llc.ways == full_4mb().llc.ways
+        assert scaled_4mb().l1.ways == full_4mb().l1.ways

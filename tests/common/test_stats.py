@@ -1,0 +1,99 @@
+"""Tests for repro.common.stats."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.stats import CounterBag, geometric_mean, ratio, safe_div
+
+
+class TestSafeDiv:
+    def test_normal_division(self):
+        assert safe_div(6, 3) == 2.0
+
+    def test_zero_denominator_returns_default(self):
+        assert safe_div(6, 0) == 0.0
+        assert safe_div(6, 0, default=-1.0) == -1.0
+
+
+class TestRatio:
+    def test_fraction(self):
+        assert ratio(1, 4) == 0.25
+
+    def test_zero_whole(self):
+        assert ratio(1, 0) == 0.0
+
+
+class TestGeometricMean:
+    def test_single_value(self):
+        assert geometric_mean([5.0]) == pytest.approx(5.0)
+
+    def test_known_pair(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_is_zero(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=20))
+    def test_bounded_by_min_and_max(self, values):
+        mean = geometric_mean(values)
+        assert min(values) <= mean * (1 + 1e-9)
+        assert mean <= max(values) * (1 + 1e-9)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=10))
+    def test_log_identity(self, values):
+        expected = math.exp(sum(math.log(v) for v in values) / len(values))
+        assert geometric_mean(values) == pytest.approx(expected)
+
+
+class TestCounterBag:
+    def test_add_and_get(self):
+        bag = CounterBag()
+        bag.add("hits")
+        bag.add("hits", 4)
+        assert bag.get("hits") == 5
+
+    def test_missing_counter_is_zero(self):
+        assert CounterBag().get("nothing") == 0
+
+    def test_initial_values(self):
+        bag = CounterBag({"misses": 3})
+        assert bag.get("misses") == 3
+
+    def test_fraction(self):
+        bag = CounterBag({"hits": 3, "accesses": 12})
+        assert bag.fraction("hits", "accesses") == 0.25
+
+    def test_fraction_zero_denominator(self):
+        assert CounterBag().fraction("a", "b") == 0.0
+
+    def test_merge(self):
+        a = CounterBag({"x": 1})
+        b = CounterBag({"x": 2, "y": 5})
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 5
+
+    def test_len_and_contains(self):
+        bag = CounterBag({"x": 1})
+        assert len(bag) == 1
+        assert "x" in bag
+        assert "y" not in bag
+
+    def test_as_dict_is_a_copy(self):
+        bag = CounterBag({"x": 1})
+        snapshot = bag.as_dict()
+        snapshot["x"] = 99
+        assert bag.get("x") == 1
+
+    def test_repr_sorted(self):
+        assert repr(CounterBag({"b": 2, "a": 1})) == "CounterBag(a=1, b=2)"

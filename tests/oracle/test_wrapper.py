@@ -1,0 +1,209 @@
+"""Tests for the sharing-aware wrapper policy."""
+
+import pytest
+
+from repro.cache.llc import SharedLlc
+from repro.common.config import CacheGeometry
+from repro.common.errors import ConfigError
+from repro.oracle.wrapper import SharingAwareWrapper
+from repro.policies.lru import LruPolicy
+from repro.policies.registry import POLICY_NAMES, make_policy
+from repro.sim.engine import LlcOnlySimulator
+from tests.conftest import make_stream, read_stream
+
+
+def hint_blocks(protected_blocks, budget=1):
+    """Hint source protecting a fixed block set with a fixed budget."""
+
+    def hint(llc, block, pc, core):
+        return budget if block in protected_blocks else 0
+
+    return hint
+
+
+def one_set_llc(wrapper, ways=3):
+    return SharedLlc(CacheGeometry(ways * 64, ways), wrapper)
+
+
+class TestConstruction:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigError):
+            SharingAwareWrapper(LruPolicy(), hint_blocks(set()), mode="magic")
+
+    def test_rejects_unknown_release(self):
+        with pytest.raises(ConfigError):
+            SharingAwareWrapper(LruPolicy(), hint_blocks(set()), release="later")
+
+    def test_name_mentions_base(self):
+        wrapper = SharingAwareWrapper(LruPolicy(), hint_blocks(set()))
+        assert "lru" in wrapper.name
+
+
+class TestVictimExemption:
+    def test_protected_block_skipped(self):
+        wrapper = SharingAwareWrapper(LruPolicy(), hint_blocks({0}),
+                                      mode="victim-exempt")
+        llc = one_set_llc(wrapper, ways=2)
+        llc.access(0, 0, 0, False)   # protected fill
+        llc.access(0, 0, 1, False)
+        __, evicted = llc.access(0, 0, 2, False)
+        # LRU would evict block 0; protection forces block 1 out instead.
+        assert evicted == 1
+        assert wrapper.exemptions_applied == 1
+
+    def test_all_protected_falls_back_to_base(self):
+        wrapper = SharingAwareWrapper(LruPolicy(), hint_blocks({0, 1}),
+                                      mode="victim-exempt")
+        llc = one_set_llc(wrapper, ways=2)
+        llc.access(0, 0, 0, False)
+        llc.access(0, 0, 1, False)
+        __, evicted = llc.access(0, 0, 2, False)
+        assert evicted == 0          # base LRU choice
+
+    def test_no_hints_behaves_exactly_like_base(self):
+        blocks = [b % 7 for b in range(200)]
+        stream = read_stream(blocks)
+        geometry = CacheGeometry(4 * 64, 4)
+        plain = LlcOnlySimulator(geometry, LruPolicy()).run(stream)
+        wrapped = LlcOnlySimulator(
+            geometry, SharingAwareWrapper(LruPolicy(), hint_blocks(set()))
+        ).run(stream)
+        assert wrapped.misses == plain.misses
+
+    @pytest.mark.parametrize("base_name", [n for n in POLICY_NAMES])
+    def test_hint_free_equivalence_for_every_base(self, base_name):
+        """With zero hints the wrapper must reproduce the base exactly
+        (same seeds, same stream)."""
+        import random
+
+        rng = random.Random(5)
+        stream = make_stream([
+            (rng.randrange(2), rng.randrange(50), rng.randrange(40),
+             rng.random() < 0.3)
+            for __ in range(800)
+        ])
+        geometry = CacheGeometry(4 * 4 * 64, 4)
+        plain = LlcOnlySimulator(geometry, make_policy(base_name, seed=3)).run(stream)
+        wrapped = LlcOnlySimulator(
+            geometry,
+            SharingAwareWrapper(make_policy(base_name, seed=3), hint_blocks(set())),
+        ).run(stream)
+        assert wrapped.misses == plain.misses
+
+
+class TestReleasePolicies:
+    def setup_protected_pair(self, release, budget=2):
+        wrapper = SharingAwareWrapper(
+            LruPolicy(), hint_blocks({0}, budget=budget),
+            mode="victim-exempt", release=release,
+        )
+        llc = one_set_llc(wrapper, ways=2)
+        llc.access(0, 0, 0, False)   # protected, filled by core 0
+        llc.access(0, 0, 1, False)
+        return wrapper, llc
+
+    def test_budget_release_counts_cross_core_hits(self):
+        wrapper, llc = self.setup_protected_pair("budget", budget=2)
+        llc.access(1, 0, 0, False)   # cross-core hit 1: budget 2 -> 1
+        llc.access(0, 0, 1, False)   # keep block 1 more recent than 0
+        __, evicted = llc.access(0, 0, 2, False)
+        assert evicted == 1          # still protected
+        llc.access(1, 0, 0, False)   # cross-core hit 2: budget exhausted
+        assert wrapper.releases == 1
+        llc.access(0, 0, 2, False)
+        __, evicted = llc.access(0, 0, 3, False)
+        assert evicted == 0          # protection gone; 0 is LRU
+
+    def test_same_core_hits_do_not_release(self):
+        wrapper, llc = self.setup_protected_pair("budget", budget=1)
+        llc.access(0, 0, 0, False)   # filler's own hit
+        assert wrapper.releases == 0
+
+    def test_first_share_releases_immediately(self):
+        wrapper, llc = self.setup_protected_pair("first-share", budget=99)
+        llc.access(1, 0, 0, False)
+        assert wrapper.releases == 1
+
+    def test_never_release_holds_through_sharing(self):
+        wrapper, llc = self.setup_protected_pair("never", budget=1)
+        for __ in range(5):
+            llc.access(1, 0, 0, False)
+        assert wrapper.releases == 0
+        llc.access(0, 0, 1, False)
+        __, evicted = llc.access(0, 0, 2, False)
+        assert evicted == 1          # block 0 still exempt
+
+
+class TestInsertPromote:
+    def test_hinted_fill_promoted(self):
+        from repro.policies.rrip import SrripPolicy
+
+        base = SrripPolicy()
+        wrapper = SharingAwareWrapper(base, hint_blocks({5}),
+                                      mode="insert-promote")
+        llc = one_set_llc(wrapper, ways=2)
+        llc.access(0, 0, 5, False)
+        llc.access(0, 0, 6, False)
+        way5 = llc._where[5][1]
+        way6 = llc._where[6][1]
+        assert base._rrpv[0][way5] == 0                  # promoted
+        assert base._rrpv[0][way6] == base.rrpv_max - 1  # normal insertion
+
+    def test_victim_selection_unconstrained(self):
+        wrapper = SharingAwareWrapper(LruPolicy(), hint_blocks({0}),
+                                      mode="insert-promote")
+        llc = one_set_llc(wrapper, ways=2)
+        llc.access(0, 0, 0, False)
+        llc.access(0, 0, 1, False)
+        llc.access(0, 0, 1, False)   # block 1 most recent
+        __, evicted = llc.access(0, 0, 2, False)
+        assert evicted == 0          # protection does not exempt here
+
+
+class TestRankVictims:
+    def test_unprotected_ranked_first(self):
+        wrapper = SharingAwareWrapper(LruPolicy(), hint_blocks({0}))
+        llc = one_set_llc(wrapper, ways=3)
+        for block in (0, 1, 2):
+            llc.access(0, 0, block, False)
+        order = wrapper.rank_victims(0)
+        protected_way = llc._where[0][1]
+        assert order[-1] == protected_way
+
+    def test_counts_protected_fills(self):
+        wrapper = SharingAwareWrapper(LruPolicy(), hint_blocks({0, 1}))
+        llc = one_set_llc(wrapper, ways=3)
+        for block in (0, 1, 2):
+            llc.access(0, 0, block, False)
+        assert wrapper.protected_fills == 2
+
+
+from hypothesis import given, settings, strategies as st
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3),
+                  st.integers(min_value=0, max_value=5),
+                  st.integers(min_value=0, max_value=15),
+                  st.booleans()),
+        max_size=300,
+    ),
+    st.integers(min_value=0, max_value=3),
+)
+def test_wrapper_invariants_under_random_traffic(accesses, budget):
+    """Budgets never go negative, the set never over-fills, and the wrapped
+    run touches exactly the same number of accesses as an unwrapped one."""
+    geometry = CacheGeometry(2 * 2 * 64, 2)
+    protected_blocks = {0, 1, 2}
+    wrapper = SharingAwareWrapper(
+        LruPolicy(), hint_blocks(protected_blocks, budget=budget)
+    )
+    llc = SharedLlc(geometry, wrapper)
+    for core, pc, block, is_write in accesses:
+        llc.access(core, pc, block, is_write)
+    assert llc.occupancy() <= geometry.num_blocks
+    for set_budgets in wrapper._budget:
+        assert all(value >= 0 for value in set_budgets)
+    assert llc.hits + llc.misses == len(accesses)

@@ -1,0 +1,139 @@
+"""Tests for BIP, DIP and the set-dueling controller."""
+
+import pytest
+
+from repro.cache.llc import SharedLlc
+from repro.common.config import CacheGeometry
+from repro.common.errors import ConfigError
+from repro.policies.dip import BipPolicy, DipPolicy, DuelingController
+from repro.policies.lru import LruPolicy
+
+
+class TestDuelingController:
+    def test_leader_placement(self):
+        duel = DuelingController(num_sets=64, num_leaders_each=8)
+        roles = [duel.role(s) for s in range(64)]
+        assert roles.count(DuelingController.LEADER_A) == 8
+        assert roles.count(DuelingController.LEADER_B) == 8
+        assert roles.count(DuelingController.FOLLOWER) == 48
+
+    def test_leader_a_misses_push_towards_b(self):
+        duel = DuelingController(num_sets=64, num_leaders_each=8, psel_bits=4)
+        assert not duel.use_policy_b(1)  # follower, PSEL at midpoint - 1
+        for __ in range(10):
+            duel.record_miss(0)          # leader A misses
+        assert duel.use_policy_b(1)
+
+    def test_leader_b_misses_push_towards_a(self):
+        duel = DuelingController(num_sets=64, num_leaders_each=8, psel_bits=4)
+        for __ in range(10):
+            duel.record_miss(0)
+        for __ in range(16):
+            duel.record_miss(4)          # leader B misses (window 8, half 4)
+        assert not duel.use_policy_b(1)
+
+    def test_leaders_always_use_own_policy(self):
+        duel = DuelingController(num_sets=64, num_leaders_each=8)
+        for __ in range(2000):
+            duel.record_miss(0)
+        assert not duel.use_policy_b(0)   # A-leader stays on A
+        assert duel.use_policy_b(4)       # B-leader stays on B
+
+    def test_psel_saturates(self):
+        duel = DuelingController(num_sets=64, num_leaders_each=8, psel_bits=4)
+        for __ in range(100):
+            duel.record_miss(0)
+        assert duel.psel == 15
+        for __ in range(100):
+            duel.record_miss(4)
+        assert duel.psel == 0
+
+    def test_follower_misses_ignored(self):
+        duel = DuelingController(num_sets=64, num_leaders_each=8)
+        before = duel.psel
+        duel.record_miss(1)
+        assert duel.psel == before
+
+    def test_too_many_leaders_rejected(self):
+        with pytest.raises(ConfigError):
+            DuelingController(num_sets=16, num_leaders_each=16)
+
+
+def one_set_llc(policy, ways=4):
+    return SharedLlc(CacheGeometry(ways * 64, ways), policy)
+
+
+def read(llc, block):
+    return llc.access(0, 0x1, block, False)
+
+
+class TestBip:
+    def test_mostly_lru_insertion(self):
+        llc = one_set_llc(BipPolicy(seed=1, bip_throttle=1_000_000), ways=2)
+        read(llc, 0)
+        read(llc, 1)
+        __, evicted = read(llc, 2)   # with throttle ~inf, inserts at LRU
+        assert evicted == 1
+
+    def test_throttle_one_behaves_like_lru(self):
+        bip = one_set_llc(BipPolicy(seed=1, bip_throttle=1), ways=3)
+        lru = one_set_llc(LruPolicy(), ways=3)
+        pattern = [0, 1, 2, 0, 3, 4, 1, 5, 0, 6]
+        bip_evictions, lru_evictions = [], []
+        for block in pattern:
+            bip_evictions.append(read(bip, block)[1])
+            lru_evictions.append(read(lru, block)[1])
+        assert bip_evictions == lru_evictions
+
+    def test_invalid_throttle(self):
+        with pytest.raises(ConfigError):
+            BipPolicy(bip_throttle=0)
+
+    def test_thrash_resistance_beats_lru(self):
+        """On a cyclic working set slightly over capacity, BIP must beat
+        LRU (which gets zero hits)."""
+        ways = 4
+        bip = one_set_llc(BipPolicy(seed=7), ways)
+        lru = one_set_llc(LruPolicy(), ways)
+        for llc in (bip, lru):
+            for __ in range(200):
+                for block in range(6):   # cyclic set of 6 > 4 ways
+                    read(llc, block)
+        assert lru.hits == 0
+        assert bip.hits > 0
+
+
+class TestDip:
+    def test_binds_dueling_controller(self):
+        policy = DipPolicy()
+        llc = SharedLlc(CacheGeometry(64 * 64 * 4, 4), policy)  # 64 sets
+        assert policy.duel is not None
+        read(llc, 0)
+
+    def test_adapts_to_thrashing(self):
+        """DIP should converge near BIP behaviour under thrashing and earn
+        hits where LRU earns none."""
+        policy = DipPolicy(seed=3, num_leaders_each=4)
+        num_sets = 32
+        llc = SharedLlc(CacheGeometry(num_sets * 4 * 64, 4), policy)
+        lru_llc = SharedLlc(CacheGeometry(num_sets * 4 * 64, 4), LruPolicy())
+        for target in (llc, lru_llc):
+            for __ in range(100):
+                for i in range(6):       # 6 blocks per set > 4 ways
+                    for set_index in range(num_sets):
+                        target.access(0, 0x1, i * num_sets + set_index, False)
+        assert lru_llc.hits == 0
+        assert llc.hits > 0
+
+    def test_lru_friendly_pattern_matches_lru(self):
+        """With high reuse, DIP's PSEL should stay on LRU and match it."""
+        policy = DipPolicy(seed=3, num_leaders_each=4)
+        num_sets = 32
+        llc = SharedLlc(CacheGeometry(num_sets * 4 * 64, 4), policy)
+        lru_llc = SharedLlc(CacheGeometry(num_sets * 4 * 64, 4), LruPolicy())
+        for target in (llc, lru_llc):
+            for __ in range(50):
+                for i in range(3):       # fits in 4 ways
+                    for set_index in range(num_sets):
+                        target.access(0, 0x1, i * num_sets + set_index, False)
+        assert llc.hits >= lru_llc.hits * 0.9

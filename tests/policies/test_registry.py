@@ -1,0 +1,85 @@
+"""Tests for the policy registry and cross-policy contracts."""
+
+import pytest
+
+from repro.cache.llc import SharedLlc
+from repro.common.config import CacheGeometry
+from repro.common.errors import ConfigError, SimulationError
+from repro.common.rng import DeterministicRng
+from repro.policies.registry import POLICY_NAMES, make_policy
+
+
+class TestRegistry:
+    def test_expected_names(self):
+        assert set(POLICY_NAMES) == {
+            "lru", "lip", "nru", "random", "bip", "dip", "srrip", "brrip",
+            "drrip", "ship",
+        }
+
+    def test_every_name_constructs_and_binds(self):
+        for name in POLICY_NAMES:
+            policy = make_policy(name, seed=1)
+            SharedLlc(CacheGeometry(64 * 4 * 64, 4), policy)
+            assert policy.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            make_policy("plru")
+
+    def test_double_bind_rejected(self):
+        policy = make_policy("lru")
+        geometry = CacheGeometry(64 * 4 * 64, 4)
+        policy.bind(geometry)
+        with pytest.raises(SimulationError):
+            policy.bind(geometry)
+
+
+@pytest.mark.parametrize("name", POLICY_NAMES)
+class TestCrossPolicyContracts:
+    """Contracts every policy must satisfy for the oracle wrapper."""
+
+    def full_llc(self, name, sets=64, ways=4):
+        policy = make_policy(name, seed=2)
+        llc = SharedLlc(CacheGeometry(sets * ways * 64, ways), policy)
+        rng = DeterministicRng(3)
+        for __ in range(sets * ways * 3):
+            llc.access(rng.randrange(4), rng.randrange(1 << 20),
+                       rng.randrange(sets * ways * 2), rng.random() < 0.3)
+        return policy, llc
+
+    def test_rank_victims_is_permutation(self, name):
+        policy, llc = self.full_llc(name)
+        for set_index in (0, 7, 63):
+            assert sorted(policy.rank_victims(set_index)) == list(range(4))
+
+    def test_rank_head_matches_select_victim(self, name):
+        """rank_victims()[0] must be the block select_victim would choose.
+
+        Stochastic policies (random/BIP fills) are exercised through the
+        deterministic part of their choice: we call rank first, then check
+        that select on an identical fresh replica returns the same way.
+        """
+        if name == "random":
+            pytest.skip("random draws fresh entropy per call by design")
+        policy, llc = self.full_llc(name)
+        for set_index in (0, 13, 42):
+            ranked = policy.rank_victims(set_index)[0]
+            assert policy.select_victim(set_index) == ranked
+
+    def test_replay_determinism(self, name):
+        """Identical seeds must give byte-identical miss counts."""
+
+        def misses():
+            policy = make_policy(name, seed=9)
+            llc = SharedLlc(CacheGeometry(16 * 4 * 64, 4), policy)
+            rng = DeterministicRng(4)
+            for __ in range(2000):
+                llc.access(rng.randrange(2), rng.randrange(100),
+                           rng.randrange(300), rng.random() < 0.2)
+            return llc.misses
+
+        assert misses() == misses()
+
+    def test_occupancy_never_exceeds_capacity(self, name):
+        __, llc = self.full_llc(name)
+        assert llc.occupancy() <= 64 * 4

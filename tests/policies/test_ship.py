@@ -1,0 +1,86 @@
+"""Tests for SHiP-PC."""
+
+import pytest
+
+from repro.cache.llc import SharedLlc
+from repro.common.config import CacheGeometry
+from repro.common.errors import ConfigError
+from repro.policies.ship import ShipPolicy
+from repro.policies.rrip import SrripPolicy
+
+
+def one_set_llc(policy, ways=4):
+    return SharedLlc(CacheGeometry(ways * 64, ways), policy)
+
+
+class TestShipLearning:
+    def test_initial_insertion_is_long(self):
+        """SHCT starts weakly positive, so first fills insert at max-1."""
+        policy = ShipPolicy()
+        llc = one_set_llc(policy)
+        llc.access(0, 0xAA, 0, False)
+        assert policy._rrpv[0][0] == policy.rrpv_max - 1
+
+    def test_dead_signature_learns_distant_insertion(self):
+        """A PC whose fills never earn hits must eventually insert at max."""
+        policy = ShipPolicy(shct_bits=4)
+        llc = one_set_llc(policy, ways=2)
+        dead_pc = 0xDEAD0
+        # Stream many one-shot blocks from one PC: every eviction without
+        # reuse decrements its SHCT entry.
+        for block in range(50):
+            llc.access(0, dead_pc, block, False)
+        signature = policy._hash_pc(dead_pc)
+        assert policy._shct[signature] == 0
+        llc.access(0, dead_pc, 999, False)
+        way = llc._where[999][1]
+        assert policy._rrpv[0][way] == policy.rrpv_max
+
+    def test_reused_signature_keeps_long_insertion(self):
+        policy = ShipPolicy(shct_bits=4)
+        llc = one_set_llc(policy, ways=2)
+        hot_pc = 0xB00
+        for round_ in range(20):
+            llc.access(0, hot_pc, round_ % 2, False)  # constant reuse
+        signature = policy._hash_pc(hot_pc)
+        assert policy._shct[signature] > 0
+
+    def test_outcome_bit_set_once_per_residency(self):
+        policy = ShipPolicy()
+        llc = one_set_llc(policy)
+        llc.access(0, 0xAA, 0, False)
+        signature = policy._hash_pc(0xAA)
+        before = policy._shct[signature]
+        llc.access(0, 0xAA, 0, False)
+        llc.access(0, 0xAA, 0, False)   # second hit: no further increment
+        assert policy._shct[signature] == before + 1
+
+    def test_scan_plus_hot_mix_beats_srrip(self):
+        """SHiP should filter a dead-PC scan that SRRIP keeps admitting."""
+        ways = 4
+        ship = one_set_llc(ShipPolicy(shct_bits=6), ways)
+        srrip = one_set_llc(SrripPolicy(), ways)
+        hot_pc, scan_pc = 0x10, 0x20
+        for llc in (ship, srrip):
+            scan_block = 1000
+            for __ in range(300):
+                for hot in (0, 1):
+                    llc.access(0, hot_pc, hot, False)
+                    llc.access(0, hot_pc, hot, False)  # promote immediately
+                # A scan burst of 8 one-shot blocks ages SRRIP's promoted
+                # hot blocks all the way to the eviction point; SHiP learns
+                # the scan PC is dead and inserts its fills at distant RRPV,
+                # never aging the hot blocks.
+                for __ in range(8):
+                    scan_block += 1
+                    llc.access(0, scan_pc, scan_block, False)
+        assert ship.hits > srrip.hits
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigError):
+            ShipPolicy(shct_bits=0)
+
+    def test_hash_pc_within_table(self):
+        policy = ShipPolicy(shct_bits=10)
+        for pc in (0, 0x400000, 0xFFFFFFFF, 123456789):
+            assert 0 <= policy._hash_pc(pc) < policy.shct_size

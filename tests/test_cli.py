@@ -1,0 +1,90 @@
+"""Tests for the repro-sim command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--accesses", "3000", "--workloads", "swaptions", "water"]
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "canneal" in out
+        assert "srrip" in out
+        assert "scaled-4mb" in out
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "shared_hit_frac" in out
+        assert "water" in out
+        assert "mean" in out
+
+    def test_compare_with_opt(self, capsys):
+        assert main(["compare", *FAST, "--policies", "lru", "srrip", "--opt"]) == 0
+        out = capsys.readouterr().out
+        assert "opt" in out
+        assert "lru" in out
+
+    def test_oracle(self, capsys):
+        assert main(["oracle", *FAST, "--base", "lru"]) == 0
+        out = capsys.readouterr().out
+        assert "miss_reduction" in out
+
+    def test_predict(self, capsys):
+        assert main(["predict", *FAST, "--predictors", "address", "pc"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        assert "water/pc" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "avg_oracle_red" in out
+
+    def test_phases(self, capsys):
+        assert main(["phases", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "last_value_acc" in out
+        assert "mixed_pcs" in out
+
+    def test_mix(self, capsys):
+        assert main(["mix", "--accesses", "3000",
+                     "--components", "swaptions", "water"]) == 0
+        out = capsys.readouterr().out
+        assert "mix(swaptions+water)" in out
+        assert "oracle miss reduction" in out
+
+    def test_record_and_replay(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["record", "--accesses", "3000",
+                     "--workloads", "water", "--out-prefix",
+                     str(tmp_path / "s_")]) == 0
+        path = str(tmp_path / "s_water.rllc.gz")
+        assert main(["replay", path, "--policies", "lru", "--opt"]) == 0
+        out = capsys.readouterr().out
+        assert "recorded water" in out
+        assert "opt" in out
+
+    def test_unknown_workload_exits(self):
+        with pytest.raises(SystemExit):
+            main(["characterize", "--workloads", "doom3"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--policies", "belady"])
+
+
+class TestNewPredictorsInCli:
+    def test_predict_with_region_and_lastvalue(self, capsys):
+        assert main(["predict", "--accesses", "3000", "--workloads", "water",
+                     "--predictors", "region", "lastvalue"]) == 0
+        out = capsys.readouterr().out
+        assert "water/region" in out
+        assert "water/lastvalue" in out

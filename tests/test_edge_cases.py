@@ -1,0 +1,122 @@
+"""Edge-case and cross-layer equivalence tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.hierarchy import CmpHierarchy
+from repro.cache.llc import SharedLlc
+from repro.common.config import CacheGeometry, MachineConfig
+from repro.policies.lru import LruPolicy
+from repro.policies.registry import POLICY_NAMES, make_policy
+from repro.sim.multipass import run_policy_on_stream
+from tests.conftest import make_trace, read_stream
+
+
+class TestDegenerateGeometries:
+    def test_direct_mapped_llc(self):
+        llc = SharedLlc(CacheGeometry(4 * 64, 1), LruPolicy())  # 4 sets, 1 way
+        llc.access(0, 0, 0, False)
+        hit, evicted = llc.access(0, 0, 4, False)  # same set
+        assert not hit
+        assert evicted == 0
+
+    def test_single_set_llc(self):
+        llc = SharedLlc(CacheGeometry(4 * 64, 4), LruPolicy())  # 1 set
+        for block in range(4):
+            llc.access(0, 0, block, False)
+        assert llc.occupancy() == 4
+
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_every_policy_on_direct_mapped(self, name):
+        llc = SharedLlc(CacheGeometry(8 * 64, 1), make_policy(name, seed=1))
+        for i in range(100):
+            llc.access(0, 0, i % 24, False)
+        assert llc.occupancy() <= 8
+
+    def test_single_core_machine(self):
+        machine = MachineConfig(
+            name="uni", num_cores=1,
+            l1=CacheGeometry(256, 4), l2=CacheGeometry(512, 4),
+            llc=CacheGeometry(2048, 8),
+        )
+        hierarchy = CmpHierarchy(machine, LruPolicy())
+        hierarchy.run(make_trace([(0, 0x1, i * 64, i % 2 == 0)
+                                  for i in range(500)]))
+        assert hierarchy.stats.upgrades == 0   # nobody to upgrade against
+        assert hierarchy.stats.accesses == 500
+
+
+class TestEmptyInputs:
+    def test_empty_trace_through_hierarchy(self, tiny_machine):
+        hierarchy = CmpHierarchy(tiny_machine, LruPolicy(), record_stream=True)
+        hierarchy.run(make_trace([]))
+        assert hierarchy.stats.accesses == 0
+        assert len(hierarchy.stream()) == 0
+
+    def test_empty_stream_replay(self, tiny_geometry):
+        result = run_policy_on_stream(read_stream([]), tiny_geometry, "lru")
+        assert result.accesses == 0
+        assert result.miss_ratio == 0.0
+
+    def test_flush_on_empty_llc(self, tiny_geometry):
+        llc = SharedLlc(tiny_geometry, LruPolicy())
+        llc.flush_residencies()  # no residencies, no observers: no-op
+        assert llc.occupancy() == 0
+
+
+class TestWriteOnlyStreams:
+    def test_all_writes(self, tiny_machine):
+        hierarchy = CmpHierarchy(tiny_machine, LruPolicy())
+        hierarchy.run(make_trace([(0, 0x1, (i % 4) * 64, True)
+                                  for i in range(100)]))
+        stats = hierarchy.stats
+        assert stats.accesses == 100
+        assert stats.l1_hits + stats.llc_accesses == 100
+
+    def test_write_sharing_ping_pong(self, tiny_machine):
+        """Two cores alternately writing one block: every write after the
+        first upgrades away the other's copy, so each access misses the
+        private levels."""
+        accesses = [(i % 2, 0x1, 0, True) for i in range(20)]
+        hierarchy = CmpHierarchy(tiny_machine, LruPolicy())
+        hierarchy.run(make_trace(accesses))
+        stats = hierarchy.stats
+        assert stats.upgrades == 19
+        assert stats.llc_accesses == 20
+        assert stats.l1_hits == 0
+
+
+machine_strategy = st.builds(
+    lambda cores: MachineConfig(
+        name="hyp", num_cores=cores,
+        l1=CacheGeometry(256, 2), l2=CacheGeometry(512, 2),
+        # Power-of-two core counts keep the set count a power of two.
+        llc=CacheGeometry(cores * 512 * 2, 4),
+    ),
+    st.sampled_from([1, 2, 4]),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    machine_strategy,
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3),
+                  st.integers(min_value=0, max_value=7),
+                  st.integers(min_value=0, max_value=40),
+                  st.booleans()),
+        max_size=400,
+    ),
+)
+def test_recorded_stream_replays_to_identical_llc_counts(machine, accesses):
+    """Stream-invariance property on random traces: replaying the recorded
+    LLC stream under the recording policy reproduces the online counts."""
+    trace = make_trace([
+        (tid % machine.num_cores, pc, block * 64, is_write)
+        for tid, pc, block, is_write in accesses
+    ])
+    hierarchy = CmpHierarchy(machine, LruPolicy(), record_stream=True)
+    hierarchy.run(trace)
+    replay = run_policy_on_stream(hierarchy.stream(), machine.llc, "lru")
+    assert replay.hits == hierarchy.stats.llc_hits
+    assert replay.misses == hierarchy.stats.llc_misses

@@ -1,0 +1,46 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are executed in-process via runpy with small access budgets so
+the whole file stays fast; stdout is captured and spot-checked.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+FAST_ARGS = {
+    "quickstart.py": [],
+    "characterize_suite.py": ["--accesses", "3000"],
+    "oracle_study.py": ["--accesses", "3000"],
+    "predictor_study.py": ["--accesses", "3000"],
+    "policy_shootout.py": ["--accesses", "3000"],
+    "capacity_planning.py": ["--accesses", "3000"],
+}
+
+EXPECTED_OUTPUT = {
+    "quickstart.py": "hit-density ratio",
+    "characterize_suite.py": "shared_hits",
+    "oracle_study.py": "oracle_gain@8MB",
+    "predictor_study.py": "driven(",
+    "policy_shootout.py": "opt",
+    "capacity_planning.py": "Working-set knee",
+}
+
+
+def test_every_example_is_listed():
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(FAST_ARGS)
+
+
+@pytest.mark.parametrize("script", sorted(FAST_ARGS))
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(
+        sys, "argv", [script, *FAST_ARGS[script]], raising=False
+    )
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert EXPECTED_OUTPUT[script] in out

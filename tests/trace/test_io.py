@@ -1,0 +1,107 @@
+"""Tests for the binary trace format (repro.trace.io)."""
+
+import gzip
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import TraceError
+from repro.trace.io import read_trace, write_trace
+from repro.trace.record import Access
+from repro.trace.trace import Trace
+
+
+def roundtrip(trace, tmp_path, filename="t.rtrc"):
+    path = tmp_path / filename
+    write_trace(trace, path)
+    return read_trace(path)
+
+
+class TestRoundtrip:
+    def test_plain_file(self, tmp_path):
+        trace = Trace.from_accesses(
+            [Access(1, 0x400, 0x1000, True), Access(0, 0x404, 0x2000, False)],
+            name="roundtrip",
+        )
+        loaded = roundtrip(trace, tmp_path)
+        assert list(loaded) == list(trace)
+        assert loaded.name == "roundtrip"
+
+    def test_empty_trace(self, tmp_path):
+        loaded = roundtrip(Trace.from_accesses([], name="empty"), tmp_path)
+        assert len(loaded) == 0
+
+    def test_gzip_suffix_compresses(self, tmp_path):
+        trace = Trace.from_accesses(
+            [Access(0, 0, i * 64, False) for i in range(2000)], name="gz"
+        )
+        plain, gz = tmp_path / "a.rtrc", tmp_path / "a.rtrc.gz"
+        write_trace(trace, plain)
+        write_trace(trace, gz)
+        assert list(read_trace(gz)) == list(trace)
+        assert gz.stat().st_size < plain.stat().st_size
+
+    def test_unicode_name(self, tmp_path):
+        trace = Trace.from_accesses([Access(0, 0, 0, False)], name="trace-αβ")
+        assert roundtrip(trace, tmp_path).name == "trace-αβ"
+
+    @settings(max_examples=20)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=15),
+                st.integers(min_value=0, max_value=1 << 60),
+                st.integers(min_value=0, max_value=1 << 60),
+                st.booleans(),
+            ),
+            max_size=30,
+        )
+    )
+    def test_roundtrip_property(self, tuples):
+        import tempfile
+        from pathlib import Path
+
+        trace = Trace.from_accesses([Access(*t) for t in tuples])
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "p.rtrc"
+            write_trace(trace, path)
+            assert list(read_trace(path)) == list(trace)
+
+
+class TestErrorHandling:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.rtrc"
+        path.write_bytes(b"XXXX" + bytes(20))
+        with pytest.raises(TraceError, match="magic"):
+            read_trace(path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "bad.rtrc"
+        path.write_bytes(struct.pack("<4sIQII", b"RTRC", 99, 0, 0, 0))
+        with pytest.raises(TraceError, match="version"):
+            read_trace(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "bad.rtrc"
+        path.write_bytes(b"RT")
+        with pytest.raises(TraceError, match="truncated"):
+            read_trace(path)
+
+    def test_truncated_column(self, tmp_path):
+        trace = Trace.from_accesses([Access(0, 0, i, False) for i in range(100)])
+        path = tmp_path / "t.rtrc"
+        write_trace(trace, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 50])
+        with pytest.raises(TraceError, match="truncated"):
+            read_trace(path)
+
+    def test_truncated_gzip_column(self, tmp_path):
+        trace = Trace.from_accesses([Access(0, 0, i, False) for i in range(100)])
+        path = tmp_path / "t.rtrc.gz"
+        write_trace(trace, path)
+        raw = gzip.decompress(path.read_bytes())
+        path.write_bytes(gzip.compress(raw[:-30]))
+        with pytest.raises(TraceError, match="truncated"):
+            read_trace(path)

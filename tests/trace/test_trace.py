@@ -1,0 +1,120 @@
+"""Tests for repro.trace.trace and repro.trace.record."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import TraceError
+from repro.trace.record import Access
+from repro.trace.trace import Trace, TraceBuilder, concatenate
+
+access_tuples = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=1 << 40),
+        st.integers(min_value=0, max_value=1 << 40),
+        st.booleans(),
+    ),
+    max_size=50,
+)
+
+
+class TestAccess:
+    def test_fields(self):
+        access = Access(2, 0x400, 0x1000, True)
+        assert access.tid == 2
+        assert access.pc == 0x400
+        assert access.addr == 0x1000
+        assert access.is_write
+
+    def test_block_default(self):
+        assert Access(0, 0, 129, False).block() == 2
+
+    def test_block_custom_size(self):
+        assert Access(0, 0, 256, False).block(block_bytes=128) == 2
+
+
+class TestTraceBuilder:
+    def test_build_empty(self):
+        trace = TraceBuilder().build()
+        assert len(trace) == 0
+        assert trace.num_threads == 0
+
+    def test_append_and_len(self):
+        builder = TraceBuilder()
+        builder.append(0, 1, 2, False)
+        builder.append(1, 3, 4, True)
+        assert len(builder) == 2
+        assert len(builder.build()) == 2
+
+    def test_rejects_negative_tid(self):
+        with pytest.raises(TraceError):
+            TraceBuilder().append(-1, 0, 0, False)
+
+    def test_rejects_negative_addr(self):
+        with pytest.raises(TraceError):
+            TraceBuilder().append(0, 0, -5, False)
+
+    def test_extend_accesses(self):
+        builder = TraceBuilder()
+        builder.extend([Access(0, 1, 2, False), Access(1, 2, 3, True)])
+        trace = builder.build()
+        assert trace[1] == Access(1, 2, 3, True)
+
+
+class TestTrace:
+    def test_getitem_returns_access(self):
+        trace = Trace.from_accesses([Access(3, 10, 20, True)])
+        assert trace[0] == Access(3, 10, 20, True)
+        assert isinstance(trace[0].is_write, bool)
+
+    def test_num_threads_is_max_plus_one(self):
+        trace = Trace.from_accesses([Access(0, 0, 0, False), Access(5, 0, 0, False)])
+        assert trace.num_threads == 6
+
+    def test_iteration_matches_indexing(self):
+        accesses = [Access(i % 3, i, i * 64, i % 2 == 0) for i in range(10)]
+        trace = Trace.from_accesses(accesses)
+        assert list(trace) == accesses
+
+    def test_slice(self):
+        accesses = [Access(0, i, i, False) for i in range(10)]
+        trace = Trace.from_accesses(accesses)
+        part = trace.slice(2, 5)
+        assert list(part) == accesses[2:5]
+
+    def test_slice_open_ended(self):
+        trace = Trace.from_accesses([Access(0, i, i, False) for i in range(5)])
+        assert len(trace.slice(3)) == 2
+
+    def test_filter_thread(self):
+        accesses = [Access(i % 2, i, i, False) for i in range(10)]
+        trace = Trace.from_accesses(accesses)
+        even = trace.filter_thread(0)
+        assert len(even) == 5
+        assert all(a.tid == 0 for a in even)
+
+    def test_mismatched_columns_rejected(self):
+        from array import array
+
+        with pytest.raises(TraceError):
+            Trace(array("h", [0]), array("q"), array("q"), array("b"))
+
+    @given(access_tuples)
+    def test_from_accesses_roundtrip(self, tuples):
+        accesses = [Access(*t) for t in tuples]
+        trace = Trace.from_accesses(accesses)
+        assert list(trace) == accesses
+
+    def test_repr_contains_name(self):
+        assert "mytrace" in repr(TraceBuilder(name="mytrace").build())
+
+
+class TestConcatenate:
+    def test_orders_traces_end_to_end(self):
+        a = Trace.from_accesses([Access(0, 1, 1, False)])
+        b = Trace.from_accesses([Access(1, 2, 2, True)])
+        joined = concatenate([a, b])
+        assert list(joined) == [Access(0, 1, 1, False), Access(1, 2, 2, True)]
+
+    def test_empty_list(self):
+        assert len(concatenate([])) == 0

@@ -1,0 +1,85 @@
+"""Tests for repro.workloads.layout."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.workloads.layout import PcAllocator, Region, RegionAllocator
+
+
+class TestRegion:
+    def test_block_indexing(self):
+        region = Region("r", base_block=100, num_blocks=10)
+        assert region.block(0) == 100
+        assert region.block(9) == 109
+
+    def test_block_wraps_modulo(self):
+        region = Region("r", 100, 10)
+        assert region.block(10) == 100
+        assert region.block(25) == 105
+
+    def test_byte_addr(self):
+        region = Region("r", 2, 4)
+        assert region.byte_addr(1) == 3 * 64
+
+    def test_split_even(self):
+        parts = Region("r", 0, 12).split(3)
+        assert [(p.base_block, p.num_blocks) for p in parts] == [
+            (0, 4), (4, 4), (8, 4),
+        ]
+
+    def test_split_uneven_gives_slack_to_last(self):
+        parts = Region("r", 0, 10).split(3)
+        assert [p.num_blocks for p in parts] == [3, 3, 4]
+        assert sum(p.num_blocks for p in parts) == 10
+
+    def test_split_pieces_disjoint_and_contiguous(self):
+        parts = Region("r", 50, 23).split(4)
+        cursor = 50
+        for part in parts:
+            assert part.base_block == cursor
+            cursor += part.num_blocks
+        assert cursor == 73
+
+    def test_split_too_many_pieces(self):
+        with pytest.raises(ConfigError):
+            Region("r", 0, 3).split(4)
+
+    def test_split_zero_pieces(self):
+        with pytest.raises(ConfigError):
+            Region("r", 0, 3).split(0)
+
+
+class TestRegionAllocator:
+    def test_regions_are_disjoint_with_guard(self):
+        allocator = RegionAllocator()
+        a = allocator.allocate("a", 100)
+        b = allocator.allocate("b", 50)
+        assert b.base_block >= a.base_block + a.num_blocks + RegionAllocator.GUARD_BLOCKS
+
+    def test_many_allocations_never_overlap(self):
+        allocator = RegionAllocator()
+        regions = [allocator.allocate(f"r{i}", 10 + i) for i in range(50)]
+        occupied = set()
+        for region in regions:
+            blocks = set(range(region.base_block, region.base_block + region.num_blocks))
+            assert not (blocks & occupied)
+            occupied |= blocks
+
+    def test_rejects_empty_region(self):
+        with pytest.raises(ConfigError):
+            RegionAllocator().allocate("zero", 0)
+
+
+class TestPcAllocator:
+    def test_ranges_disjoint(self):
+        allocator = PcAllocator()
+        a = allocator.allocate(8)
+        b = allocator.allocate(8)
+        assert b >= a + 4 * 8
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ConfigError):
+            PcAllocator().allocate(0)
+
+    def test_base_is_code_like(self):
+        assert PcAllocator().allocate() >= 0x400000

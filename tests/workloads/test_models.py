@@ -1,0 +1,164 @@
+"""Tests for the application models and registry."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.trace.stats import compute_trace_statistics
+from repro.workloads.base import GeneratorContext, WorkloadModel
+from repro.workloads.registry import (
+    SUITES,
+    get_workload,
+    iter_workloads,
+    workload_names,
+    workloads_in_suite,
+)
+
+GENERATE_KWARGS = dict(num_threads=4, scale=64, target_accesses=8_000, seed=1)
+
+
+class TestRegistry:
+    def test_nineteen_models(self):
+        assert len(workload_names()) == 19
+
+    def test_suite_membership(self):
+        assert len(workloads_in_suite("parsec")) == 10
+        assert len(workloads_in_suite("splash2")) == 6
+        assert len(workloads_in_suite("specomp")) == 3
+
+    def test_every_model_has_metadata(self):
+        for model in iter_workloads():
+            assert model.name
+            assert model.suite in SUITES
+            assert model.description
+
+    def test_get_workload_unknown(self):
+        with pytest.raises(ConfigError):
+            get_workload("doom")
+
+    def test_unknown_suite(self):
+        with pytest.raises(ConfigError):
+            workloads_in_suite("specfp")
+
+    def test_instances_are_fresh(self):
+        assert get_workload("canneal") is not get_workload("canneal")
+
+
+@pytest.mark.parametrize("name", workload_names())
+class TestEveryModelGenerates:
+    def test_generates_exact_length(self, name):
+        trace = get_workload(name).generate(**GENERATE_KWARGS)
+        assert len(trace) == GENERATE_KWARGS["target_accesses"]
+
+    def test_thread_count_respected(self, name):
+        trace = get_workload(name).generate(**GENERATE_KWARGS)
+        assert trace.num_threads <= GENERATE_KWARGS["num_threads"]
+        assert max(trace.tids) < GENERATE_KWARGS["num_threads"]
+
+    def test_deterministic(self, name):
+        a = get_workload(name).generate(**GENERATE_KWARGS)
+        b = get_workload(name).generate(**GENERATE_KWARGS)
+        assert list(a.addrs) == list(b.addrs)
+        assert list(a.tids) == list(b.tids)
+        assert list(a.pcs) == list(b.pcs)
+
+    def test_seed_changes_trace(self, name):
+        kwargs = dict(GENERATE_KWARGS)
+        a = get_workload(name).generate(**kwargs)
+        kwargs["seed"] = 2
+        b = get_workload(name).generate(**kwargs)
+        assert list(a.tids) != list(b.tids) or list(a.addrs) != list(b.addrs)
+
+
+class TestSharingSpectrum:
+    """The suite must span the paper's sharing spectrum."""
+
+    def stats_for(self, name):
+        trace = get_workload(name).generate(
+            num_threads=4, scale=64, target_accesses=20_000, seed=3
+        )
+        return compute_trace_statistics(trace)
+
+    def test_blackscholes_nearly_private(self):
+        assert self.stats_for("blackscholes").shared_access_fraction < 0.10
+
+    def test_swaptions_nearly_private(self):
+        assert self.stats_for("swaptions").shared_access_fraction < 0.10
+
+    def test_streamcluster_sharing_heavy(self):
+        assert self.stats_for("streamcluster").shared_access_fraction > 0.5
+
+    def test_canneal_has_diffuse_sharing(self):
+        stats = self.stats_for("canneal")
+        assert stats.shared_block_fraction > 0.02
+        assert stats.footprint_blocks > 4000  # capacity-stressing graph
+
+    def test_stencils_share_only_band_edges(self):
+        for name in ("ocean", "swim"):
+            stats = self.stats_for(name)
+            assert 0.0 < stats.shared_block_fraction < 0.2
+
+
+class TestGeneratorContext:
+    def test_scaled_floors_at_minimum(self):
+        ctx = GeneratorContext(num_threads=2, scale=1024, seed=0)
+        assert ctx.scaled(16) == GeneratorContext.MIN_REGION_BLOCKS
+
+    def test_scaled_divides(self):
+        ctx = GeneratorContext(num_threads=2, scale=16, seed=0)
+        assert ctx.scaled(160) == 10
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigError):
+            GeneratorContext(num_threads=0, scale=1, seed=0)
+        with pytest.raises(ConfigError):
+            GeneratorContext(num_threads=1, scale=0, seed=0)
+
+
+class TestWorkloadModelFramework:
+    def test_empty_phase_detected(self):
+        class Lazy(WorkloadModel):
+            name = "lazy"
+            suite = "parsec"
+
+            def setup(self, ctx):
+                pass
+
+            def phase(self, ctx, iteration):
+                pass  # never emits anything
+
+        with pytest.raises(ConfigError, match="emitted no accesses"):
+            Lazy().generate(num_threads=1, scale=1, target_accesses=10)
+
+    def test_invalid_target(self):
+        with pytest.raises(ConfigError):
+            get_workload("water").generate(target_accesses=0)
+
+    def test_repr_mentions_name(self):
+        assert "water" in repr(get_workload("water"))
+
+
+class TestNewModels:
+    """The four later-added models must exhibit their template patterns."""
+
+    def stats_for(self, name):
+        trace = get_workload(name).generate(
+            num_threads=4, scale=64, target_accesses=20_000, seed=3
+        )
+        return compute_trace_statistics(trace)
+
+    def test_ferret_has_pipeline_and_database_sharing(self):
+        stats = self.stats_for("ferret")
+        assert stats.shared_access_fraction > 0.3
+
+    def test_facesim_band_edge_plus_migratory(self):
+        stats = self.stats_for("facesim")
+        assert 0.0 < stats.shared_block_fraction < 0.5
+
+    def test_fft_transpose_shares_matrices(self):
+        stats = self.stats_for("fft")
+        # Transposed matrices are written by all threads over time.
+        assert stats.shared_block_fraction > 0.3
+
+    def test_applu_is_stencil_like(self):
+        stats = self.stats_for("applu")
+        assert stats.shared_block_fraction < 0.3
