@@ -9,8 +9,16 @@ the files regardless of pytest's capture settings.
 The scaled 4MB and 8MB machines share identical private levels, so each
 workload's LLC stream is recorded once (under the 4MB context) and replayed
 against both LLC geometries.
+
+Parallel/caching knobs (both optional):
+
+* ``REPRO_SIM_JOBS=N`` — prefetch every workload's stream across N worker
+  processes before the benches start (results are bit-identical to serial).
+* ``REPRO_SIM_CACHE_DIR=DIR`` — persist recorded streams across bench runs
+  in DIR, so only the first run on a machine pays the hierarchy pass.
 """
 
+import os
 from pathlib import Path
 
 import pytest
@@ -18,7 +26,8 @@ import pytest
 from repro.analysis.csvout import write_csv
 from repro.analysis.tables import render_table
 from repro.common.config import profile
-from repro.sim.experiment import shared_context
+from repro.sim.experiment import AUTO_CACHE_DIR, CACHE_DIR_ENV, shared_context
+from repro.sim.parallel import jobs_from_env
 
 BENCH_ACCESSES = 200_000
 BENCH_SEED = 42
@@ -32,7 +41,13 @@ RESULTS_DIR = Path(__file__).parent / "results"
 @pytest.fixture(scope="session")
 def context():
     """The session-wide experiment context (streams recorded once)."""
-    return shared_context("scaled-4mb", BENCH_ACCESSES, BENCH_SEED)
+    cache_dir = AUTO_CACHE_DIR if os.environ.get(CACHE_DIR_ENV) else None
+    ctx = shared_context("scaled-4mb", BENCH_ACCESSES, BENCH_SEED,
+                         cache_dir=cache_dir)
+    jobs = jobs_from_env(default=1)
+    if jobs > 1:
+        ctx.prefetch(jobs=jobs)
+    return ctx
 
 
 def emit(experiment_id, headers, rows, title, float_digits=4):

@@ -98,14 +98,16 @@ class SharedLlc:
         self._where: dict = {}  # block -> (set_index, way); global map is
         # faster in CPython than per-set dicts and blocks are unique LLC-wide.
 
-        # Residency metadata, parallel to _blocks.
-        self._fill_ordinal = [[0] * ways for __ in range(num_sets)]
-        self._fill_pc = [[0] * ways for __ in range(num_sets)]
-        self._fill_core = [[0] * ways for __ in range(num_sets)]
-        self._core_mask = [[0] * ways for __ in range(num_sets)]
-        self._write_mask = [[0] * ways for __ in range(num_sets)]
-        self._hit_count = [[0] * ways for __ in range(num_sets)]
-        self._other_hits = [[0] * ways for __ in range(num_sets)]
+        # Residency metadata, flat lists indexed by set_index * ways + way —
+        # one index computation per access instead of six nested subscripts.
+        frames = num_sets * ways
+        self._fill_ordinal = [0] * frames
+        self._fill_pc = [0] * frames
+        self._fill_core = [0] * frames
+        self._core_mask = [0] * frames
+        self._write_mask = [0] * frames
+        self._hit_count = [0] * frames
+        self._other_hits = [0] * frames
 
         self._used = [0] * num_sets
 
@@ -135,12 +137,13 @@ class SharedLlc:
         if where is not None:
             set_index, way = where
             self.hits += 1
-            self._core_mask[set_index][way] |= 1 << core
+            idx = set_index * self.ways + way
+            self._core_mask[idx] |= 1 << core
             if is_write:
-                self._write_mask[set_index][way] |= 1 << core
-            self._hit_count[set_index][way] += 1
-            if core != self._fill_core[set_index][way]:
-                self._other_hits[set_index][way] += 1
+                self._write_mask[idx] |= 1 << core
+            self._hit_count[idx] += 1
+            if core != self._fill_core[idx]:
+                self._other_hits[idx] += 1
             self.policy.on_hit(set_index, way, block, pc, core, is_write)
             return True, NO_BLOCK
 
@@ -165,13 +168,14 @@ class SharedLlc:
 
         set_blocks[way] = block
         self._where[block] = (set_index, way)
-        self._fill_ordinal[set_index][way] = self.access_count
-        self._fill_pc[set_index][way] = pc
-        self._fill_core[set_index][way] = core
-        self._core_mask[set_index][way] = 1 << core
-        self._write_mask[set_index][way] = (1 << core) if is_write else 0
-        self._hit_count[set_index][way] = 0
-        self._other_hits[set_index][way] = 0
+        idx = set_index * self.ways + way
+        self._fill_ordinal[idx] = self.access_count
+        self._fill_pc[idx] = pc
+        self._fill_core[idx] = core
+        self._core_mask[idx] = 1 << core
+        self._write_mask[idx] = (1 << core) if is_write else 0
+        self._hit_count[idx] = 0
+        self._other_hits[idx] = 0
         self.policy.on_fill(set_index, way, block, pc, core, is_write)
         if self.observers:
             for observer in self.observers:
@@ -184,18 +188,19 @@ class SharedLlc:
         if not self.observers:
             return
         block = self._blocks[set_index][way]
+        idx = set_index * self.ways + way
         for observer in self.observers:
             observer.residency_ended(
                 block,
                 set_index,
-                self._fill_ordinal[set_index][way],
+                self._fill_ordinal[idx],
                 self.access_count,
-                self._fill_pc[set_index][way],
-                self._fill_core[set_index][way],
-                self._core_mask[set_index][way],
-                self._write_mask[set_index][way],
-                self._hit_count[set_index][way],
-                self._other_hits[set_index][way],
+                self._fill_pc[idx],
+                self._fill_core[idx],
+                self._core_mask[idx],
+                self._write_mask[idx],
+                self._hit_count[idx],
+                self._other_hits[idx],
                 forced,
             )
 

@@ -14,6 +14,7 @@ from array import array
 from typing import Iterator, NamedTuple, Tuple
 
 from repro.common.errors import TraceError
+from repro.common.npsupport import frozen_view, require_numpy
 
 
 class LlcAccess(NamedTuple):
@@ -62,6 +63,21 @@ class LlcStream:
     def columns(self) -> Tuple[array, array, array, array]:
         """``(cores, pcs, blocks, writes)`` for bulk consumers."""
         return self._cores, self._pcs, self._blocks, self._writes
+
+    def numpy_columns(self) -> Tuple:
+        """``(cores, pcs, blocks, writes)`` as read-only numpy views.
+
+        Zero-copy: the views alias the stream's own column buffers (the
+        whole point — vectorized kernels must not pay a materialization
+        copy per replay). Raises :class:`RuntimeError` without numpy.
+        """
+        np = require_numpy()
+        return (
+            frozen_view(self._cores, np.int8),
+            frozen_view(self._pcs, np.int64),
+            frozen_view(self._blocks, np.int64),
+            frozen_view(self._writes, np.int8),
+        )
 
     @property
     def num_cores(self) -> int:

@@ -17,7 +17,7 @@ from repro.common.stats import ratio
 
 def popcount(mask: int) -> int:
     """Number of set bits (sharer count of a core mask)."""
-    return bin(mask).count("1")
+    return mask.bit_count()
 
 
 @dataclass

@@ -11,13 +11,22 @@ Subcommands mirror the paper's studies:
 * ``mix``          — sharing-oracle on a multi-programmed mix (F10)
 * ``record``       — record a workload's LLC stream to a file
 * ``replay``       — replay a recorded stream under chosen policies
+* ``cache``        — inspect or clear the persistent stream cache
 * ``list``         — available workloads, policies, profiles
+
+``compare``/``oracle``/``sweep``/``predict`` accept ``--jobs N`` to fan the
+experiment matrix out over worker processes (``--jobs 0`` = every core),
+and every subcommand shares a persistent on-disk stream cache (default
+``~/.cache/repro-sim``; override with ``--cache-dir`` or the
+``REPRO_SIM_CACHE_DIR`` environment variable, disable with ``--no-cache``)
+so the expensive hierarchy recording pass is paid once per machine.
 
 Examples::
 
     repro-sim characterize --profile scaled-4mb --workloads streamcluster
-    repro-sim oracle --base lru --profile scaled-8mb
+    repro-sim oracle --base lru --profile scaled-8mb --jobs 4
     repro-sim predict --predictors address pc hybrid
+    repro-sim cache info
 """
 
 import argparse
@@ -27,11 +36,18 @@ from typing import List, Optional
 from repro.analysis.aggregate import append_group_means, append_summary_rows
 from repro.analysis.tables import render_table
 from repro.common.config import PROFILE_NAMES
+from repro.common.errors import ReproError
 from repro.policies.registry import POLICY_NAMES
-from repro.predictors.registry import PREDICTOR_NAMES, make_predictor
-from repro.predictors.harness import PredictorHarness
-from repro.sim.experiment import ExperimentContext, shared_context
-from repro.sim.multipass import run_policy_on_stream
+from repro.predictors.registry import PREDICTOR_NAMES
+from repro.sim.experiment import (
+    AUTO_CACHE_DIR,
+    ExperimentContext,
+    cache_entries,
+    clear_cache,
+    resolve_cache_dir,
+    shared_context,
+)
+from repro.sim.parallel import compare_many, oracle_many, predict_many, sweep_many
 from repro.workloads.registry import workload_names
 
 
@@ -49,10 +65,37 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         help="per-workload access budget (default: 300000)",
     )
     parser.add_argument("--seed", type=int, default=42, help="base seed")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent stream cache directory "
+             "(default: $REPRO_SIM_CACHE_DIR or ~/.cache/repro-sim)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent stream cache",
+    )
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the experiment matrix "
+             "(1 = serial, 0 = all cores; results are bit-identical)",
+    )
+
+
+def _cache_spec(args):
+    if getattr(args, "no_cache", False):
+        return None
+    if getattr(args, "cache_dir", None):
+        return args.cache_dir
+    return AUTO_CACHE_DIR
 
 
 def _context(args) -> ExperimentContext:
-    context = shared_context(args.profile, args.accesses, args.seed)
+    context = shared_context(
+        args.profile, args.accesses, args.seed, cache_dir=_cache_spec(args)
+    )
     if args.workloads:
         unknown = set(args.workloads) - set(workload_names())
         if unknown:
@@ -100,13 +143,14 @@ def cmd_characterize(args) -> int:
 
 def cmd_compare(args) -> int:
     context = _context(args)
+    comparisons = compare_many(
+        context, context.workload_list, args.policies,
+        include_opt=args.opt, jobs=args.jobs,
+    )
     rows = []
-    for name in context.workload_list:
-        comparison = context.compare_policies(name, args.policies,
-                                              include_opt=args.opt)
-        row = [name] + [comparison.results[p].miss_ratio
-                        for p in comparison.policies()]
-        rows.append(row)
+    for name, comparison in comparisons.items():
+        rows.append([name] + [comparison.results[p].miss_ratio
+                              for p in comparison.policies()])
     headers = ["workload"] + (args.policies + (["opt"] if args.opt else []))
     append_summary_rows(rows, numeric_columns=list(range(1, len(headers))))
     print(render_table(headers, rows,
@@ -116,10 +160,12 @@ def cmd_compare(args) -> int:
 
 def cmd_oracle(args) -> int:
     context = _context(args)
+    studies = oracle_many(
+        context, context.workload_list, base=args.base, mode=args.mode,
+        turnovers=args.turnovers, jobs=args.jobs,
+    )
     rows = []
-    for name in context.workload_list:
-        study = context.oracle_study(name, base=args.base, mode=args.mode,
-                                     horizon_turnovers=args.turnovers)
+    for name, study in studies.items():
         rows.append([
             name,
             study.base.miss_ratio,
@@ -139,22 +185,16 @@ def cmd_oracle(args) -> int:
 
 def cmd_predict(args) -> int:
     context = _context(args)
+    matrices = predict_many(
+        context, context.workload_list, args.predictors, jobs=args.jobs
+    )
     rows = []
-    for name in context.workload_list:
-        artifacts = context.artifacts(name)
-        for predictor_name in args.predictors:
-            predictor = make_predictor(predictor_name)
-            harness = PredictorHarness(predictor)
-            run_policy_on_stream(
-                artifacts.stream, context.geometry, "lru",
-                seed=args.seed, observers=(harness,),
-            )
-            m = harness.matrix
-            rows.append([
-                f"{name}/{predictor_name}",
-                m.total, m.base_rate, m.accuracy, m.precision, m.recall,
-                m.coverage,
-            ])
+    for (name, predictor_name), m in matrices.items():
+        rows.append([
+            f"{name}/{predictor_name}",
+            m.total, m.base_rate, m.accuracy, m.precision, m.recall,
+            m.coverage,
+        ])
     print(render_table(
         ["workload/predictor", "fills", "base_rate", "accuracy",
          "precision", "recall", "coverage"],
@@ -164,28 +204,27 @@ def cmd_predict(args) -> int:
     return 0
 
 
+SWEEP_FACTORS = (0.5, 1.0, 2.0, 4.0)
+"""LLC capacity multiples explored by the F7-style sweep."""
+
+
 def cmd_sweep(args) -> int:
-    from repro.common.config import CacheGeometry
-    from repro.oracle.runner import run_oracle_study
     from repro.analysis.aggregate import amean
+    from repro.sim.parallel import scaled_geometry
 
     context = _context(args)
-    base_blocks = context.geometry.num_blocks
+    studies = sweep_many(
+        context, context.workload_list, SWEEP_FACTORS,
+        base=args.base, turnovers=args.turnovers, jobs=args.jobs,
+    )
     rows = []
-    for factor in (0.5, 1.0, 2.0, 4.0):
-        blocks = int(base_blocks * factor)
-        geometry = CacheGeometry(
-            blocks * context.geometry.block_bytes, context.geometry.ways
-        )
-        reductions, miss_ratios = [], []
-        for name in context.workload_list:
-            stream = context.artifacts(name).stream
-            study = run_oracle_study(stream, geometry, base=args.base,
-                                     horizon_turnovers=args.turnovers)
-            reductions.append(study.miss_reduction)
-            miss_ratios.append(study.base.miss_ratio)
-        rows.append([geometry.describe(), amean(miss_ratios),
-                     amean(reductions), max(reductions)])
+    for factor in SWEEP_FACTORS:
+        per_workload = [studies[(factor, name)]
+                        for name in context.workload_list]
+        reductions = [study.miss_reduction for study in per_workload]
+        miss_ratios = [study.base.miss_ratio for study in per_workload]
+        rows.append([scaled_geometry(context.geometry, factor).describe(),
+                     amean(miss_ratios), amean(reductions), max(reductions)])
     print(render_table(
         ["llc", f"avg_{args.base}_mr", "avg_oracle_red", "max_oracle_red"],
         rows,
@@ -194,9 +233,33 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_cache(args) -> int:
+    spec = args.cache_dir if args.cache_dir else AUTO_CACHE_DIR
+    directory = resolve_cache_dir(spec)
+    if args.action == "clear":
+        removed = clear_cache(spec)
+        print(f"removed {removed} cached artifact file(s) from {directory}")
+        return 0
+    entries = cache_entries(spec)
+    streams = [e for e in entries if e[0].name.endswith((".rllc", ".rllc.gz"))]
+    total = sum(size for __, size in entries)
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["cache directory", str(directory)],
+            ["cached streams", len(streams)],
+            ["total files", len(entries)],
+            ["total bytes", total],
+        ],
+        title="Persistent stream cache",
+    ))
+    return 0
+
+
 def cmd_phases(args) -> int:
     from repro.characterization.pc_profile import PcSharingProfiler
     from repro.characterization.phases import SharingPhaseTracker
+    from repro.sim.multipass import run_policy_on_stream
 
     context = _context(args)
     rows = []
@@ -268,7 +331,7 @@ def cmd_record(args) -> int:
 def cmd_replay(args) -> int:
     from repro.cache.stream_io import read_llc_stream
     from repro.common.config import profile as load_profile
-    from repro.sim.multipass import run_opt
+    from repro.sim.multipass import run_opt, run_policy_on_stream
 
     geometry = load_profile(args.profile).llc
     rows = []
@@ -302,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = subparsers.add_parser("compare", help="policy comparison on identical streams")
     _add_common_arguments(p)
+    _add_jobs_argument(p)
     p.add_argument("--policies", nargs="*",
                    default=["lru", "dip", "srrip", "drrip", "ship"],
                    choices=POLICY_NAMES)
@@ -309,6 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = subparsers.add_parser("oracle", help="sharing-oracle gain study")
     _add_common_arguments(p)
+    _add_jobs_argument(p)
     p.add_argument("--base", default="lru", choices=POLICY_NAMES)
     p.add_argument("--mode", default="both",
                    choices=("victim-exempt", "insert-promote", "both"))
@@ -317,11 +382,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = subparsers.add_parser("predict", help="fill-time predictor accuracy")
     _add_common_arguments(p)
+    _add_jobs_argument(p)
     p.add_argument("--predictors", nargs="*", default=["address", "pc", "hybrid"],
                    choices=PREDICTOR_NAMES)
 
     p = subparsers.add_parser("sweep", help="oracle gain vs LLC capacity")
     _add_common_arguments(p)
+    _add_jobs_argument(p)
     p.add_argument("--base", default="lru", choices=POLICY_NAMES)
     p.add_argument("--turnovers", type=float, default=1.75)
 
@@ -349,6 +416,14 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=POLICY_NAMES)
     p.add_argument("--opt", action="store_true", help="include Belady's OPT")
     p.add_argument("--seed", type=int, default=42)
+
+    p = subparsers.add_parser("cache",
+                              help="inspect or clear the persistent stream cache")
+    p.add_argument("action", choices=("info", "clear"),
+                   help="info: show location/size; clear: delete artifacts")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="cache directory (default: $REPRO_SIM_CACHE_DIR "
+                        "or ~/.cache/repro-sim)")
     return parser
 
 
@@ -363,13 +438,18 @@ _COMMANDS = {
     "mix": cmd_mix,
     "record": cmd_record,
     "replay": cmd_replay,
+    "cache": cmd_cache,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

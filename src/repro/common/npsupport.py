@@ -1,0 +1,52 @@
+"""Optional numpy acceleration gate.
+
+Vectorized kernels (next-use computation, annotation scans, column views)
+import numpy through this module so that every accelerated path degrades to
+its pure-Python twin on interpreters without numpy. Design decision #4
+(deterministic everything) still holds: both paths are equivalence-tested
+to produce bit-identical outputs, so which one runs never changes a result.
+"""
+
+try:  # pragma: no cover - exercised implicitly by every vectorized kernel
+    import numpy
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    numpy = None
+
+HAVE_NUMPY = numpy is not None
+"""True when numpy is importable; vectorized kernels key off this."""
+
+
+def require_numpy():
+    """The numpy module, or a :class:`RuntimeError` when unavailable.
+
+    Callers that were explicitly asked to vectorize (``use_numpy=True``)
+    use this to fail loudly instead of silently falling back.
+    """
+    if numpy is None:
+        raise RuntimeError("numpy is not available in this interpreter")
+    return numpy
+
+
+def frozen_view(column, dtype):
+    """Zero-copy read-only numpy view over one ``array.array`` column."""
+    np = require_numpy()
+    if len(column) == 0:
+        return np.empty(0, dtype=dtype)
+    view = np.frombuffer(column, dtype=dtype)
+    view.flags.writeable = False
+    return view
+
+
+def should_vectorize(use_numpy, length: int, threshold: int) -> bool:
+    """Resolve the three-state ``use_numpy`` flag for one kernel call.
+
+    ``None`` means auto: vectorize when numpy exists and the input is big
+    enough for the numpy call overhead to pay for itself. ``True`` demands
+    numpy (raising when missing); ``False`` forces the Python path.
+    """
+    if use_numpy is None:
+        return HAVE_NUMPY and length >= threshold
+    if use_numpy:
+        require_numpy()
+        return True
+    return False

@@ -111,13 +111,12 @@ class SharingAwareWrapper(ReplacementPolicy):
             # run is bit-identical to the unwrapped policy (including its
             # RNG consumption).
             return self.base.select_victim(set_index)
-        order = self.base.rank_victims(set_index)
-        for way in order:
-            if budgets[way] <= 0:
-                if way != order[0]:
-                    self.exemptions_applied += 1
-                return way
-        return order[0]
+        way, first = self.base.preferred_victim(set_index, budgets)
+        if way < 0:
+            return first
+        if way != first:
+            self.exemptions_applied += 1
+        return way
 
     def on_evict(self, set_index, way, block) -> None:
         self.base.on_evict(set_index, way, block)

@@ -75,6 +75,24 @@ class ReplacementPolicy(ABC):
             f"policy {self.name} does not support ranked victim selection"
         )
 
+    def preferred_victim(self, set_index: int, blocked) -> tuple:
+        """``(way, first)``: the best victim not flagged in ``blocked``.
+
+        ``first`` is the unconstrained top choice (``rank_victims(s)[0]``);
+        ``way`` is the first way in preference order with
+        ``blocked[way] <= 0``, or ``-1`` when every way is blocked. The
+        default walks :meth:`rank_victims` — keeping its contractual side
+        effects — so behaviour is identical for any ranked base; policies
+        whose ranking is a pure sort (LRU) override this with a sort-free
+        scan, which is what the eviction-heavy oracle replays hit.
+        """
+        order = self.rank_victims(set_index)
+        first = order[0]
+        for way in order:
+            if blocked[way] <= 0:
+                return way, first
+        return -1, first
+
     def __repr__(self) -> str:
         bound = self.geometry.describe() if self.geometry else "unbound"
         return f"{type(self).__name__}({bound})"

@@ -36,6 +36,19 @@ class LruPolicy(ReplacementPolicy):
         stamps = self._stamps[set_index]
         return sorted(range(self.ways), key=stamps.__getitem__)
 
+    def preferred_victim(self, set_index, blocked) -> tuple:
+        # Stamp order is a pure sort (ties broken by way index, matching
+        # sorted()'s stability), so two linear scans replace the default's
+        # rank_victims() sort on this eviction-path hot spot.
+        stamps = self._stamps[set_index]
+        first = stamps.index(min(stamps))
+        best = -1
+        best_stamp = 0
+        for way, stamp in enumerate(stamps):
+            if blocked[way] <= 0 and (best < 0 or stamp < best_stamp):
+                best, best_stamp = way, stamp
+        return best, first
+
 
 class LipPolicy(LruPolicy):
     """LRU-insertion policy: fills land at the LRU position."""

@@ -15,21 +15,41 @@ miss count).
 """
 
 from array import array
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.common.errors import SimulationError
+from repro.common.npsupport import require_numpy, should_vectorize
 from repro.policies.base import ReplacementPolicy
 
 NO_NEXT_USE = 1 << 62
 """Sentinel next-use position meaning "never accessed again"."""
 
+VECTORIZE_THRESHOLD = 4096
+"""Stream length above which the numpy next-use kernel wins (auto mode)."""
 
-def compute_next_use(blocks: Sequence[int]) -> array:
+
+def compute_next_use(
+    blocks: Sequence[int], use_numpy: Optional[bool] = None
+) -> array:
     """For each stream position, the position of that block's next access.
 
-    Runs a single backward scan with a last-seen map; positions with no
-    later access of the same block get :data:`NO_NEXT_USE`.
+    Positions with no later access of the same block get
+    :data:`NO_NEXT_USE`. Two equivalent implementations: a pure-Python
+    backward scan with a last-seen map, and a numpy unique-index pass
+    (one values-only sort of ``(block << log2(n)) | position`` packed keys;
+    each key's successor within its block run *is* the next use).
+    ``use_numpy`` selects explicitly; ``None`` auto-selects by availability
+    and size. Both return bit-identical ``array('q')`` columns.
     """
+    if should_vectorize(use_numpy, len(blocks), VECTORIZE_THRESHOLD):
+        vectorized = _compute_next_use_numpy(blocks)
+        if vectorized is not None:
+            return vectorized
+    return _compute_next_use_python(blocks)
+
+
+def _compute_next_use_python(blocks: Sequence[int]) -> array:
+    """Backward scan with a last-seen map (the reference implementation)."""
     next_use = array("q", bytes(8 * len(blocks)))
     last_seen = {}
     for i in range(len(blocks) - 1, -1, -1):
@@ -37,6 +57,44 @@ def compute_next_use(blocks: Sequence[int]) -> array:
         next_use[i] = last_seen.get(block, NO_NEXT_USE)
         last_seen[block] = i
     return next_use
+
+
+def _compute_next_use_numpy(blocks: Sequence[int]) -> Optional[array]:
+    """Vectorized next-use via one values-only sort of packed keys.
+
+    Packs ``(block << shift) | position`` into int64 (``2^shift >= n``) so a
+    plain ``sort`` groups equal blocks with ascending positions; bit-shift
+    decoding then links each position to its successor in the same run.
+    Blocks too large to pack are first factorized to dense ids (an extra
+    sort inside ``np.unique``). Returns ``None`` when even dense ids cannot
+    pack (n >= 2^31), signalling the caller to use the Python scan.
+    """
+    np = require_numpy()
+    if isinstance(blocks, array) and blocks.typecode == "q" and len(blocks):
+        column = np.frombuffer(blocks, dtype=np.int64)
+    else:
+        column = np.asarray(blocks, dtype=np.int64)
+    n = len(column)
+    if n == 0:
+        return array("q")
+    shift = max(n - 1, 1).bit_length()
+    if int(column.min()) < 0 or (int(column.max()) >> (63 - shift)) != 0:
+        __, column = np.unique(column, return_inverse=True)
+        column = column.astype(np.int64, copy=False)
+        if ((n - 1) >> (63 - shift)) != 0:  # even dense ids overflow the pack
+            return None
+
+    keys = (column << shift) | np.arange(n, dtype=np.int64)
+    keys.sort()
+    positions = keys & ((1 << shift) - 1)
+    ids = keys >> shift
+
+    out = array("q", bytes(8 * n))
+    next_use = np.frombuffer(out, dtype=np.int64)
+    next_use[...] = NO_NEXT_USE
+    linked = np.nonzero(ids[1:] == ids[:-1])[0]
+    next_use[positions[linked]] = positions[linked + 1]
+    return out
 
 
 class BeladyOptPolicy(ReplacementPolicy):

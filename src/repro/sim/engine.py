@@ -6,6 +6,7 @@ every policy replayed this way sees identical accesses — the property OPT,
 the oracle, and fair policy comparisons all rely on.
 """
 
+from time import perf_counter
 from typing import Tuple
 
 from repro.cache.llc import SharedLlc
@@ -29,14 +30,20 @@ class LlcOnlySimulator:
     def run(self, stream: LlcStream, flush: bool = True) -> LlcSimResult:
         """Replay ``stream`` to completion.
 
+        The hot loop zips the four columns instead of indexing each per
+        position (four fewer ``__getitem__`` calls per access) and hoists
+        the access method into a local. The result records replay
+        throughput as ``accesses_per_sec``.
+
         Args:
             stream: the recorded LLC demand stream.
             flush: notify observers of still-live residencies afterwards.
         """
-        cores, pcs, blocks, writes = stream.columns()
         access = self.llc.access
-        for i in range(len(cores)):
-            access(cores[i], pcs[i], blocks[i], writes[i] != 0)
+        start = perf_counter()
+        for core, pc, block, write in zip(*stream.columns()):
+            access(core, pc, block, write != 0)
+        elapsed = perf_counter() - start
         if flush:
             self.llc.flush_residencies()
         return LlcSimResult(
@@ -45,4 +52,5 @@ class LlcOnlySimulator:
             accesses=self.llc.access_count,
             hits=self.llc.hits,
             misses=self.llc.misses,
+            elapsed_sec=elapsed,
         )

@@ -2,24 +2,40 @@
 
 Recording a workload's LLC stream (trace generation + the full hierarchy
 pass) is the expensive step; every replay-based analysis after it is cheap.
-:class:`ExperimentContext` caches those artifacts per workload so that the
-benches and examples — which slice the same streams many ways — pay the
-hierarchy pass once. :func:`shared_context` additionally memoises whole
-contexts process-wide, letting independent pytest-benchmark files share
-them.
+:class:`ExperimentContext` caches those artifacts at two levels:
+
+* **in memory**, per workload (optionally LRU-bounded so ``--full-size``
+  sweeps don't hold every stream at once), and
+* **on disk**, in a persistent machine-wide cache (default
+  ``~/.cache/repro-sim``, overridable via the ``REPRO_SIM_CACHE_DIR``
+  environment variable or an explicit ``cache_dir``), keyed by (workload,
+  machine digest, seed, target accesses, stream-format version) so the
+  hierarchy recording pass is paid once per machine — not once per process.
+  Loads are integrity-checked (stream checksum + stats cross-check); a
+  corrupt entry is dropped and re-recorded rather than trusted.
+
+:func:`shared_context` additionally memoises whole contexts process-wide,
+letting independent pytest-benchmark files share them.
 """
 
 import dataclasses
+import hashlib
 import json
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.cache.hierarchy import HierarchyStats
 from repro.cache.stream import LlcStream
-from repro.cache.stream_io import read_llc_stream, write_llc_stream
+from repro.cache.stream_io import (
+    STREAM_FORMAT_VERSION,
+    read_llc_stream,
+    write_llc_stream,
+)
 from repro.common.config import MachineConfig, profile
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, TraceError
 from repro.common.rng import derive_seed
 from repro.sim.multipass import record_llc_stream, run_opt, run_policy_on_stream
 from repro.sim.results import PolicyComparison
@@ -28,6 +44,62 @@ from repro.workloads.registry import get_workload, workload_names
 
 DEFAULT_TARGET_ACCESSES = 300_000
 DEFAULT_SEED = 42
+
+CACHE_DIR_ENV = "REPRO_SIM_CACHE_DIR"
+"""Environment variable overriding the default persistent cache location."""
+
+AUTO_CACHE_DIR = "auto"
+"""Sentinel ``cache_dir`` value selecting the machine-wide default."""
+
+
+def default_cache_dir() -> Path:
+    """The persistent artifact cache directory for this machine."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro-sim"
+
+
+def resolve_cache_dir(
+    cache_dir: Optional[Union[str, Path]]
+) -> Optional[Path]:
+    """Map a user-facing cache spec to a concrete directory (or None).
+
+    ``None`` disables the disk cache, :data:`AUTO_CACHE_DIR` selects
+    :func:`default_cache_dir`, anything else is taken as a path.
+    """
+    if cache_dir is None:
+        return None
+    if cache_dir == AUTO_CACHE_DIR:
+        return default_cache_dir()
+    return Path(cache_dir).expanduser()
+
+
+def machine_digest(machine: MachineConfig) -> str:
+    """Short stable digest of a full machine configuration.
+
+    Part of every disk-cache key: two machines that happen to share a name
+    (ad-hoc test configs, tweaked geometries) must never collide on
+    recorded streams.
+    """
+    payload = repr(dataclasses.astuple(machine)).encode()
+    return hashlib.sha256(payload).hexdigest()[:12]
+
+
+@dataclass
+class ArtifactCacheStats:
+    """Counters for the two-level artifact cache of one context."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    disk_stores: int = 0
+    recordings: int = 0
+    corrupt_entries: int = 0
+    memory_evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view (CLI/report friendly)."""
+        return dataclasses.asdict(self)
 
 
 @dataclass(frozen=True)
@@ -41,7 +113,19 @@ class WorkloadArtifacts:
 
 
 class ExperimentContext:
-    """Caches streams and runs replay analyses for one machine profile."""
+    """Caches streams and runs replay analyses for one machine profile.
+
+    Args:
+        machine: CMP configuration.
+        target_accesses: per-workload trace budget.
+        seed: base seed; every derived stream/policy seed hangs off it.
+        workloads: workload subset (default: every registered workload).
+        cache_dir: persistent cache location — ``None`` (memory only),
+            :data:`AUTO_CACHE_DIR`, or a path.
+        max_cached: LRU bound on in-memory :class:`WorkloadArtifacts`
+            (``None`` = unbounded). Long full-size sweeps set this so the
+            context doesn't hold every stream in RAM at once.
+    """
 
     def __init__(
         self,
@@ -50,7 +134,10 @@ class ExperimentContext:
         seed: int = DEFAULT_SEED,
         workloads: Optional[Iterable[str]] = None,
         cache_dir: Optional[Union[str, Path]] = None,
+        max_cached: Optional[int] = None,
     ):
+        if max_cached is not None and max_cached < 1:
+            raise ConfigError(f"max_cached must be >= 1, got {max_cached}")
         self.machine = machine
         self.geometry = machine.llc
         self.target_accesses = target_accesses
@@ -58,13 +145,27 @@ class ExperimentContext:
         self.workload_list: List[str] = (
             list(workloads) if workloads is not None else workload_names()
         )
-        self._artifacts: Dict[str, WorkloadArtifacts] = {}
-        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._artifacts: "OrderedDict[str, WorkloadArtifacts]" = OrderedDict()
+        self.cache_dir = resolve_cache_dir(cache_dir)
+        if (
+            self.cache_dir is not None
+            and self.cache_dir.exists()
+            and not self.cache_dir.is_dir()
+        ):
+            raise ConfigError(
+                f"cache dir {self.cache_dir} exists and is not a directory"
+            )
+        self.max_cached = max_cached
+        self.cache_stats = ArtifactCacheStats()
 
-    def _cache_paths(self, name: str):
+    # ------------------------------------------------------------------
+    # Disk cache
+    # ------------------------------------------------------------------
+
+    def _cache_paths(self, name: str) -> Tuple[Path, Path]:
         stem = (
-            f"{name}-{self.machine.name}-t{self.machine.num_cores}"
-            f"-n{self.target_accesses}-s{self.seed}"
+            f"{name}-{self.machine.name}-{machine_digest(self.machine)}"
+            f"-n{self.target_accesses}-s{self.seed}-fv{STREAM_FORMAT_VERSION}"
         )
         return (
             self.cache_dir / f"{stem}.rllc.gz",
@@ -72,49 +173,108 @@ class ExperimentContext:
         )
 
     def _load_cached(self, name: str) -> Optional[WorkloadArtifacts]:
-        """Load one workload's artifacts from the disk cache, if present."""
+        """Load one workload's artifacts from the disk cache, if present.
+
+        Integrity policy: any malformed entry (bad checksum, truncated
+        file, unparsable stats, or a stream/stats length mismatch) counts
+        as corrupt, is removed, and triggers a fresh recording — a broken
+        cache must never change results.
+        """
         if self.cache_dir is None:
             return None
         stream_path, stats_path = self._cache_paths(name)
         if not (stream_path.exists() and stats_path.exists()):
             return None
-        stats = json.loads(stats_path.read_text())
-        trace_fields = dict(stats["trace"])
-        trace_fields["per_thread_accesses"] = tuple(
-            trace_fields["per_thread_accesses"]
-        )
+        try:
+            stats = json.loads(stats_path.read_text())
+            trace_fields = dict(stats["trace"])
+            trace_fields["per_thread_accesses"] = tuple(
+                trace_fields["per_thread_accesses"]
+            )
+            trace_stats = TraceStatistics(**trace_fields)
+            hierarchy_stats = HierarchyStats(**stats["hierarchy"])
+            stream = read_llc_stream(stream_path)
+            if len(stream) != hierarchy_stats.llc_accesses:
+                raise TraceError(
+                    f"{stream_path}: stream length {len(stream)} disagrees "
+                    f"with cached stats ({hierarchy_stats.llc_accesses})"
+                )
+        except (TraceError, ValueError, KeyError, TypeError, OSError,
+                EOFError):  # EOFError: truncated gzip member
+            self.cache_stats.corrupt_entries += 1
+            for path in (stream_path, stats_path):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            return None
+        self.cache_stats.disk_hits += 1
         return WorkloadArtifacts(
             workload=name,
-            trace_stats=TraceStatistics(**trace_fields),
-            hierarchy_stats=HierarchyStats(**stats["hierarchy"]),
-            stream=read_llc_stream(stream_path),
+            trace_stats=trace_stats,
+            hierarchy_stats=hierarchy_stats,
+            stream=stream,
         )
 
     def _store_cached(self, artifacts: WorkloadArtifacts) -> None:
-        """Persist one workload's artifacts into the disk cache."""
+        """Persist one workload's artifacts into the disk cache.
+
+        Writes go to per-process temp names and land via atomic renames, so
+        concurrent worker processes recording the same workload can never
+        leave a half-written entry behind (last complete writer wins, and
+        every writer produces identical bits anyway).
+        """
         if self.cache_dir is None:
             return
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         stream_path, stats_path = self._cache_paths(artifacts.workload)
-        write_llc_stream(artifacts.stream, stream_path)
-        stats_path.write_text(json.dumps({
+        # Prefix (not suffix) the temp marker so the .gz suffix — which
+        # selects compression in write_llc_stream — is preserved.
+        prefix = f"tmp{os.getpid()}-"
+        stream_tmp = stream_path.with_name(prefix + stream_path.name)
+        stats_tmp = stats_path.with_name(prefix + stats_path.name)
+        write_llc_stream(artifacts.stream, stream_tmp)
+        stats_tmp.write_text(json.dumps({
             "trace": dataclasses.asdict(artifacts.trace_stats),
             "hierarchy": dataclasses.asdict(artifacts.hierarchy_stats),
         }))
+        os.replace(stats_tmp, stats_path)
+        os.replace(stream_tmp, stream_path)
+        self.cache_stats.disk_stores += 1
 
-    def artifacts(self, name: str) -> WorkloadArtifacts:
-        """Trace stats + hierarchy stats + LLC stream for one workload."""
-        if name not in self.workload_list:
-            raise ConfigError(
-                f"workload {name!r} not in this context ({self.workload_list})"
-            )
-        cached = self._artifacts.get(name)
-        if cached is not None:
-            return cached
-        cached = self._load_cached(name)
-        if cached is not None:
-            self._artifacts[name] = cached
-            return cached
+    # ------------------------------------------------------------------
+    # In-memory cache
+    # ------------------------------------------------------------------
+
+    def _remember(self, name: str, artifacts: WorkloadArtifacts) -> None:
+        self._artifacts[name] = artifacts
+        self._artifacts.move_to_end(name)
+        if self.max_cached is not None:
+            while len(self._artifacts) > self.max_cached:
+                self._artifacts.popitem(last=False)
+                self.cache_stats.memory_evictions += 1
+
+    def clear(self) -> None:
+        """Drop every in-memory artifact (the disk cache is untouched).
+
+        Long sweeps call this between capacity points to bound RSS.
+        """
+        self._artifacts.clear()
+
+    def cached_workloads(self) -> List[str]:
+        """Workloads currently held in memory, LRU-oldest first."""
+        return list(self._artifacts)
+
+    # ------------------------------------------------------------------
+    # Artifact production
+    # ------------------------------------------------------------------
+
+    def record_artifacts(self, name: str) -> WorkloadArtifacts:
+        """Generate + record one workload's artifacts (no caches consulted).
+
+        The deterministic ground truth both cache levels are measured
+        against: same machine/seed/budget always yields the same bits.
+        """
         model = get_workload(name)
         trace = model.generate(
             num_threads=self.machine.num_cores,
@@ -126,19 +286,56 @@ class ExperimentContext:
         stream, hierarchy_stats = record_llc_stream(
             trace, self.machine, seed=self.seed
         )
-        artifacts = WorkloadArtifacts(
+        self.cache_stats.recordings += 1
+        return WorkloadArtifacts(
             workload=name,
             trace_stats=trace_stats,
             hierarchy_stats=hierarchy_stats,
             stream=stream,
         )
-        self._artifacts[name] = artifacts
+
+    def artifacts(self, name: str) -> WorkloadArtifacts:
+        """Trace stats + hierarchy stats + LLC stream for one workload."""
+        if name not in self.workload_list:
+            raise ConfigError(
+                f"workload {name!r} not in this context ({self.workload_list})"
+            )
+        cached = self._artifacts.get(name)
+        if cached is not None:
+            self.cache_stats.memory_hits += 1
+            self._artifacts.move_to_end(name)
+            return cached
+        cached = self._load_cached(name)
+        if cached is not None:
+            self._remember(name, cached)
+            return cached
+        artifacts = self.record_artifacts(name)
+        self._remember(name, artifacts)
         self._store_cached(artifacts)
         return artifacts
 
     def all_artifacts(self) -> Dict[str, WorkloadArtifacts]:
         """Artifacts for every workload of the context."""
         return {name: self.artifacts(name) for name in self.workload_list}
+
+    def prefetch(self, names: Optional[Iterable[str]] = None, jobs: int = 1) -> None:
+        """Record (or load) artifacts for many workloads, optionally in
+        parallel worker processes. After this, replay analyses are pure
+        cache hits."""
+        names = list(names) if names is not None else list(self.workload_list)
+        if jobs <= 1:
+            for name in names:
+                self.artifacts(name)
+            return
+        from repro.sim.parallel import prefetch_artifacts
+
+        for name, artifacts in prefetch_artifacts(self, names, jobs=jobs):
+            if name not in self._artifacts:
+                self._remember(name, artifacts)
+
+    # ------------------------------------------------------------------
+    # Replay analyses
+    # ------------------------------------------------------------------
 
     def characterize(self, name: str, policy: str = "lru"):
         """Sharing characterization of one workload under ``policy``.
@@ -194,13 +391,51 @@ def shared_context(
     profile_name: str = "scaled-4mb",
     target_accesses: int = DEFAULT_TARGET_ACCESSES,
     seed: int = DEFAULT_SEED,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> ExperimentContext:
     """Process-wide memoised context (benches share streams through this)."""
-    key = (profile_name, target_accesses, seed)
+    resolved = resolve_cache_dir(cache_dir)
+    key = (profile_name, target_accesses, seed, resolved)
     context = _SHARED.get(key)
     if context is None:
         context = ExperimentContext(
-            profile(profile_name), target_accesses=target_accesses, seed=seed
+            profile(profile_name), target_accesses=target_accesses, seed=seed,
+            cache_dir=resolved,
         )
         _SHARED[key] = context
     return context
+
+
+# ----------------------------------------------------------------------
+# Cache maintenance (backs the ``repro-sim cache`` subcommand)
+# ----------------------------------------------------------------------
+
+_CACHE_PATTERNS = ("*.rllc.gz", "*.rllc", "*.json")
+
+
+def cache_entries(cache_dir: Optional[Union[str, Path]] = AUTO_CACHE_DIR):
+    """The (path, size) pairs of recognised artifact files in the cache."""
+    directory = resolve_cache_dir(cache_dir)
+    if directory is None or not directory.is_dir():
+        return []
+    entries = []
+    for pattern in _CACHE_PATTERNS:
+        for path in sorted(directory.glob(pattern)):
+            entries.append((path, path.stat().st_size))
+    return entries
+
+
+def clear_cache(cache_dir: Optional[Union[str, Path]] = AUTO_CACHE_DIR) -> int:
+    """Delete recognised artifact files from the cache; returns the count.
+
+    Only files matching the artifact naming patterns are touched — the
+    directory itself, and anything else in it, is left alone.
+    """
+    removed = 0
+    for path, __ in cache_entries(cache_dir):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed

@@ -1,0 +1,257 @@
+"""Parallel experiment engine.
+
+The experiment matrix — (workload, policy, capacity) cells — is
+embarrassingly parallel: every cell replays a recorded LLC stream that is
+fully determined by (machine, seed, access budget), so cells can run in any
+process, in any order, and must produce bit-identical results. This module
+fans the matrix out over a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* each worker process builds one :class:`ExperimentContext` mirroring the
+  parent's configuration (same machine, seed, budget, disk cache);
+* a worker records — or loads from the persistent disk cache — each
+  workload's stream once per process, then replays every policy a cell
+  asks for;
+* cells return compact result records (plain dataclasses), and the parent
+  reassembles them in submission order, so output never depends on
+  scheduling.
+
+``jobs <= 1`` executes the identical cell functions inline in the parent —
+the serial and parallel paths share one implementation, which is what makes
+the bit-identical guarantee structural rather than aspirational.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.config import CacheGeometry
+from repro.common.errors import ConfigError
+from repro.sim.results import PolicyComparison
+
+DEFAULT_JOBS_ENV = "REPRO_SIM_JOBS"
+"""Environment variable supplying a default worker count."""
+
+
+def normalize_jobs(jobs: Optional[int]) -> int:
+    """Resolve a ``--jobs`` value: None/0 means "use every core"."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ConfigError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def jobs_from_env(default: int = 1) -> int:
+    """Worker count from :data:`DEFAULT_JOBS_ENV` (benches route through
+    this so ``REPRO_SIM_JOBS=4 pytest benchmarks`` parallelises recording)."""
+    raw = os.environ.get(DEFAULT_JOBS_ENV)
+    if not raw:
+        return default
+    try:
+        return normalize_jobs(int(raw))
+    except ValueError:
+        raise ConfigError(f"{DEFAULT_JOBS_ENV}={raw!r} is not an integer") from None
+
+
+def scaled_geometry(geometry: CacheGeometry, factor: float) -> CacheGeometry:
+    """The LLC geometry with capacity scaled by ``factor`` (same ways/block)."""
+    blocks = int(geometry.num_blocks * factor)
+    return CacheGeometry(blocks * geometry.block_bytes, geometry.ways)
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One schedulable unit of the experiment matrix.
+
+    ``kind`` selects the analysis; ``params`` is the kind-specific
+    parameter tuple (hashable and picklable). Cells are pure functions of
+    (context configuration, workload, params).
+    """
+
+    kind: str
+    workload: str
+    params: tuple = ()
+
+
+def execute_cell(context, cell: ExperimentCell):
+    """Run one cell against ``context``. Shared by serial and worker paths."""
+    artifacts = context.artifacts(cell.workload)
+    if cell.kind == "record":
+        return cell.workload, artifacts
+    if cell.kind == "compare":
+        policies, include_opt = cell.params
+        return context.compare_policies(
+            cell.workload, list(policies), include_opt=include_opt
+        )
+    if cell.kind == "oracle":
+        base, mode, release, turnovers = cell.params
+        return context.oracle_study(
+            cell.workload, base=base, mode=mode, release=release,
+            horizon_turnovers=turnovers,
+        )
+    if cell.kind == "sweep":
+        from repro.oracle.runner import run_oracle_study
+
+        factor, base, turnovers = cell.params
+        return run_oracle_study(
+            artifacts.stream, scaled_geometry(context.geometry, factor),
+            base=base, horizon_turnovers=turnovers, seed=context.seed,
+        )
+    if cell.kind == "predict":
+        from repro.predictors.harness import PredictorHarness
+        from repro.predictors.registry import make_predictor
+        from repro.sim.multipass import run_policy_on_stream
+
+        (predictor_name,) = cell.params
+        harness = PredictorHarness(make_predictor(predictor_name))
+        run_policy_on_stream(
+            artifacts.stream, context.geometry, "lru",
+            seed=context.seed, observers=(harness,),
+        )
+        return harness.matrix
+    raise ConfigError(f"unknown experiment cell kind {cell.kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing
+# ----------------------------------------------------------------------
+
+_WORKER_CONTEXT = None
+
+
+def _init_worker(machine, target_accesses, seed, workloads, cache_dir) -> None:
+    """Build this worker's context once; cells then share its stream cache."""
+    from repro.sim.experiment import ExperimentContext
+
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = ExperimentContext(
+        machine, target_accesses=target_accesses, seed=seed,
+        workloads=workloads, cache_dir=cache_dir,
+    )
+
+
+def _run_cell(cell: ExperimentCell):
+    return execute_cell(_WORKER_CONTEXT, cell)
+
+
+def run_cells(
+    context, cells: Sequence[ExperimentCell], jobs: Optional[int] = 1
+) -> List:
+    """Execute ``cells`` and return their results in submission order.
+
+    ``jobs <= 1`` runs inline on ``context`` (populating its caches);
+    otherwise a process pool fans out and the parent's in-memory cache is
+    left untouched. Either way the returned records are bit-identical.
+    """
+    jobs = normalize_jobs(jobs)
+    cells = list(cells)
+    if jobs <= 1 or len(cells) <= 1:
+        return [execute_cell(context, cell) for cell in cells]
+
+    # Contiguous chunks keep one workload's cells in one worker, so a
+    # worker records/loads each stream at most once per process.
+    chunksize = max(1, len(cells) // (jobs * 2))
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(cells)),
+        initializer=_init_worker,
+        initargs=(
+            context.machine, context.target_accesses, context.seed,
+            list(context.workload_list), context.cache_dir,
+        ),
+    ) as executor:
+        return list(executor.map(_run_cell, cells, chunksize=chunksize))
+
+
+# ----------------------------------------------------------------------
+# Matrix helpers (what the CLI and benches actually call)
+# ----------------------------------------------------------------------
+
+def _sorted_by_workload(cells: List[ExperimentCell]) -> List[ExperimentCell]:
+    """Group same-workload cells adjacently (stream-recording locality)
+    without reordering the caller-visible result mapping."""
+    return sorted(cells, key=lambda cell: cell.workload)
+
+
+def prefetch_artifacts(
+    context, names: Iterable[str], jobs: Optional[int] = 1
+) -> List[Tuple[str, object]]:
+    """Record/load artifacts for many workloads in parallel."""
+    cells = [ExperimentCell("record", name) for name in names]
+    return run_cells(context, cells, jobs=jobs)
+
+
+def compare_many(
+    context,
+    workloads: Iterable[str],
+    policies: Sequence[str],
+    include_opt: bool = False,
+    jobs: Optional[int] = 1,
+) -> Dict[str, PolicyComparison]:
+    """Policy comparisons for many workloads, keyed by workload."""
+    workloads = list(workloads)
+    cells = [
+        ExperimentCell("compare", name, (tuple(policies), include_opt))
+        for name in workloads
+    ]
+    results = run_cells(context, cells, jobs=jobs)
+    return dict(zip(workloads, results))
+
+
+def oracle_many(
+    context,
+    workloads: Iterable[str],
+    base: str = "lru",
+    mode: str = "both",
+    release: str = "budget",
+    turnovers: float = 1.75,
+    jobs: Optional[int] = 1,
+) -> Dict[str, object]:
+    """Oracle studies for many workloads, keyed by workload."""
+    workloads = list(workloads)
+    cells = [
+        ExperimentCell("oracle", name, (base, mode, release, turnovers))
+        for name in workloads
+    ]
+    results = run_cells(context, cells, jobs=jobs)
+    return dict(zip(workloads, results))
+
+
+def sweep_many(
+    context,
+    workloads: Iterable[str],
+    factors: Sequence[float],
+    base: str = "lru",
+    turnovers: float = 1.75,
+    jobs: Optional[int] = 1,
+) -> Dict[Tuple[float, str], object]:
+    """Capacity-sweep oracle studies keyed by (factor, workload)."""
+    workloads = list(workloads)
+    keys = [(factor, name) for factor in factors for name in workloads]
+    cells = _sorted_by_workload([
+        ExperimentCell("sweep", name, (factor, base, turnovers))
+        for factor, name in keys
+    ])
+    results = run_cells(context, cells, jobs=jobs)
+    by_cell = {
+        (cell.params[0], cell.workload): result
+        for cell, result in zip(cells, results)
+    }
+    return {key: by_cell[key] for key in keys}
+
+
+def predict_many(
+    context,
+    workloads: Iterable[str],
+    predictors: Sequence[str],
+    jobs: Optional[int] = 1,
+) -> Dict[Tuple[str, str], object]:
+    """Predictor confusion matrices keyed by (workload, predictor)."""
+    workloads = list(workloads)
+    keys = [(name, predictor) for name in workloads for predictor in predictors]
+    cells = [
+        ExperimentCell("predict", name, (predictor,))
+        for name, predictor in keys
+    ]
+    results = run_cells(context, cells, jobs=jobs)
+    return dict(zip(keys, results))

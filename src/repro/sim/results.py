@@ -1,6 +1,6 @@
 """Result records for simulation runs."""
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.common.stats import ratio
@@ -8,13 +8,26 @@ from repro.common.stats import ratio
 
 @dataclass(frozen=True)
 class LlcSimResult:
-    """Outcome of replaying one LLC stream under one policy."""
+    """Outcome of replaying one LLC stream under one policy.
+
+    ``elapsed_sec``/``accesses_per_sec`` report replay throughput; they are
+    excluded from equality so that determinism checks (bit-identical
+    results across serial and parallel runs) compare outcomes, not clocks.
+    """
 
     policy: str
     stream_name: str
     accesses: int
     hits: int
     misses: int
+    elapsed_sec: float = field(default=0.0, compare=False, repr=False)
+
+    @property
+    def accesses_per_sec(self) -> float:
+        """Replay throughput (0.0 when the run was not timed)."""
+        if self.elapsed_sec <= 0.0:
+            return 0.0
+        return self.accesses / self.elapsed_sec
 
     @property
     def miss_ratio(self) -> float:

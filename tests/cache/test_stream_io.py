@@ -37,20 +37,26 @@ class TestRoundtrip:
         assert len(read_llc_stream(path)) == 0
 
     @settings(max_examples=15)
-    @given(st.lists(
-        st.tuples(st.integers(min_value=0, max_value=7), st.just(5),
-                  st.integers(min_value=0, max_value=1 << 50), st.booleans()),
-        max_size=40,
-    ))
-    def test_roundtrip_property(self, accesses):
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=7), st.just(5),
+                      st.integers(min_value=0, max_value=1 << 50),
+                      st.booleans()),
+            max_size=40,
+        ),
+        st.sampled_from(["p.rllc", "p.rllc.gz"]),
+    )
+    def test_roundtrip_property(self, accesses, filename):
         import tempfile
         from pathlib import Path
 
         stream = make_stream(accesses)
         with tempfile.TemporaryDirectory() as tmp:
-            path = Path(tmp) / "p.rllc"
+            path = Path(tmp) / filename
             write_llc_stream(stream, path)
-            assert list(read_llc_stream(path)) == list(stream)
+            loaded = read_llc_stream(path)
+            assert list(loaded) == list(stream)
+            assert loaded.name == stream.name
 
 
 class TestErrors:
@@ -76,3 +82,37 @@ class TestErrors:
         path.write_bytes(blob[:-20])
         with pytest.raises(TraceError, match="truncated"):
             read_llc_stream(path)
+
+    def test_corrupted_payload_fails_checksum(self, tmp_path):
+        stream = make_stream([(0, 0, i, False) for i in range(50)])
+        path = tmp_path / "c.rllc"
+        write_llc_stream(stream, path)
+        blob = bytearray(path.read_bytes())
+        blob[-8] ^= 0xFF  # inside the last column, before the footer
+        path.write_bytes(bytes(blob))
+        with pytest.raises(TraceError, match="checksum"):
+            read_llc_stream(path)
+
+    def test_missing_footer_rejected(self, tmp_path):
+        stream = make_stream([(0, 0, 1, False)])
+        path = tmp_path / "f.rllc"
+        write_llc_stream(stream, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-4])  # drop the CRC footer entirely
+        with pytest.raises(TraceError, match="checksum"):
+            read_llc_stream(path)
+
+
+class TestVersionCompatibility:
+    def test_reads_version_1_without_footer(self, tmp_path):
+        # A v1 file is a v2 file minus the trailing CRC, with version=1.
+        stream = make_stream([(2, 0x9, 3, True), (0, 0x9, 4, False)],
+                             name="old")
+        path = tmp_path / "v1.rllc"
+        write_llc_stream(stream, path)
+        blob = bytearray(path.read_bytes())
+        blob[4:8] = struct.pack("<I", 1)
+        path.write_bytes(bytes(blob[:-4]))
+        loaded = read_llc_stream(path)
+        assert list(loaded) == list(stream)
+        assert loaded.name == "old"

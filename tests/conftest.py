@@ -4,7 +4,27 @@ import pytest
 
 from repro.cache.stream import LlcStream, LlcStreamBuilder
 from repro.common.config import CacheGeometry, MachineConfig
+from repro.sim.experiment import CACHE_DIR_ENV
 from repro.trace.trace import Trace, TraceBuilder
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_cache_dir(tmp_path_factory):
+    """Point the persistent stream cache at a per-session temp directory.
+
+    CLI subcommands default to the machine-wide cache; tests must neither
+    read nor pollute the developer's real ~/.cache/repro-sim.
+    """
+    import os
+
+    directory = tmp_path_factory.mktemp("repro-sim-cache")
+    previous = os.environ.get(CACHE_DIR_ENV)
+    os.environ[CACHE_DIR_ENV] = str(directory)
+    yield
+    if previous is None:
+        os.environ.pop(CACHE_DIR_ENV, None)
+    else:
+        os.environ[CACHE_DIR_ENV] = previous
 
 
 def make_stream(accesses, name="test-stream") -> LlcStream:

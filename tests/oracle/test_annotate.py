@@ -5,6 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.common.config import CacheGeometry
 from repro.common.errors import ConfigError
+from repro.common.npsupport import HAVE_NUMPY
 from repro.oracle.annotate import (
     build_sharing_annotation,
     build_stream_annotation,
@@ -90,6 +91,59 @@ class TestStreamAnnotation:
             accesses, horizon_factor * GEOMETRY.num_blocks
         )
         assert list(budgets) == expected
+
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+
+@needs_numpy
+class TestStreamAnnotationVectorized:
+    """The numpy annotation kernel is bit-identical to the Python scan."""
+
+    def both(self, accesses, horizon_factor=3, cap=127):
+        stream = make_stream(accesses)
+        python = build_stream_annotation(
+            stream, GEOMETRY, horizon_factor=horizon_factor, cap=cap,
+            use_numpy=False,
+        )
+        vectorized = build_stream_annotation(
+            stream, GEOMETRY, horizon_factor=horizon_factor, cap=cap,
+            use_numpy=True,
+        )
+        assert list(vectorized) == list(python)
+        return python
+
+    @settings(max_examples=50)
+    @given(stream_entries, st.integers(min_value=1, max_value=5))
+    def test_random_streams_agree(self, accesses, horizon_factor):
+        self.both(accesses, horizon_factor=horizon_factor)
+
+    def test_empty_stream(self):
+        assert list(self.both([])) == [0]
+
+    def test_cap_saturation_agrees(self):
+        accesses = [(0, 0, 5, False)] + [(1, 0, 5, False)] * 30
+        budgets = self.both(accesses, horizon_factor=8, cap=3)
+        assert budgets[1] == 3
+
+    def test_wide_block_ids_take_factorization_path(self):
+        # (block * num_cores + core) no longer fits beside the position
+        # bits, so the kernel must factorize to dense ids first.
+        accesses = [
+            (i % 2, 0, (1 << 50) + (i % 3), False) for i in range(32)
+        ]
+        self.both(accesses, horizon_factor=4)
+
+    def test_long_stream_auto_path(self):
+        accesses = [
+            ((i // 7) % 4, 0, (i * 31) % 11, False) for i in range(6_000)
+        ]
+        stream = make_stream(accesses)
+        auto = build_stream_annotation(stream, GEOMETRY, horizon_factor=2)
+        python = build_stream_annotation(
+            stream, GEOMETRY, horizon_factor=2, use_numpy=False
+        )
+        assert list(auto) == list(python)
 
 
 class TestPolicyAnnotation:

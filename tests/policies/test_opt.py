@@ -7,6 +7,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.common.config import CacheGeometry
 from repro.common.errors import SimulationError
+from repro.common.npsupport import HAVE_NUMPY
 from repro.policies.opt import NO_NEXT_USE, BeladyOptPolicy, compute_next_use
 from repro.policies.registry import make_policy
 from repro.sim.engine import LlcOnlySimulator
@@ -31,6 +32,55 @@ class TestComputeNextUse:
             except ValueError:
                 expected = NO_NEXT_USE
             assert next_use[i] == expected
+
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+
+@needs_numpy
+class TestComputeNextUseVectorized:
+    """The numpy kernel must be bit-identical to the Python scan."""
+
+    def both(self, blocks):
+        python = compute_next_use(blocks, use_numpy=False)
+        vectorized = compute_next_use(blocks, use_numpy=True)
+        assert list(vectorized) == list(python)
+        return python
+
+    @given(st.lists(st.integers(min_value=0, max_value=40), max_size=200))
+    def test_random_streams_agree(self, blocks):
+        self.both(blocks)
+
+    def test_no_next_use_edges(self):
+        # Every edge that produces the sentinel: empty input, a singleton,
+        # all-distinct blocks (everything is a last use), and a final
+        # access that is also a first use.
+        assert list(compute_next_use([], use_numpy=True)) == []
+        assert list(compute_next_use([7], use_numpy=True)) == [NO_NEXT_USE]
+        distinct = self.both(list(range(10)))
+        assert set(distinct) == {NO_NEXT_USE}
+        tail_first = self.both([1, 1, 2])
+        assert tail_first[-1] == NO_NEXT_USE
+
+    def test_single_hot_block(self):
+        next_use = self.both([3] * 50)
+        assert list(next_use[:-1]) == list(range(1, 50))
+        assert next_use[-1] == NO_NEXT_USE
+
+    def test_wide_block_ids_take_factorization_path(self):
+        # Ids too wide to pack directly next to positions: the kernel must
+        # factorize to dense ids and still agree with the Python scan.
+        blocks = [(1 << 50) + (i % 3) for i in range(64)]
+        self.both(blocks)
+
+    def test_negative_ids(self):
+        self.both([-5, 3, -5, -9, 3, -5])
+
+    def test_large_stream_smoke(self):
+        # Above VECTORIZE_THRESHOLD so the auto path picks the kernel too.
+        blocks = [(i * 2654435761) % 997 for i in range(10_000)]
+        auto = compute_next_use(blocks)
+        assert list(auto) == list(compute_next_use(blocks, use_numpy=False))
 
 
 def brute_force_min_misses(blocks, capacity):

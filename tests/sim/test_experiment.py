@@ -110,3 +110,117 @@ class TestDiskCache:
             tiny_machine, target_accesses=3_000, seed=7, workloads=["water"]
         ).artifacts("water")
         assert not any(tmp_path.iterdir())
+
+    def test_stats_count_each_cache_level(self, tiny_machine, tmp_path):
+        first = ExperimentContext(
+            tiny_machine, target_accesses=3_000, seed=7,
+            workloads=["water"], cache_dir=tmp_path,
+        )
+        first.artifacts("water")   # cold: record + store
+        first.artifacts("water")   # warm: memory hit
+        stats = first.cache_stats
+        assert (stats.recordings, stats.disk_stores) == (1, 1)
+        assert stats.memory_hits == 1
+        assert stats.disk_hits == 0
+
+        second = ExperimentContext(
+            tiny_machine, target_accesses=3_000, seed=7,
+            workloads=["water"], cache_dir=tmp_path,
+        )
+        second.artifacts("water")  # warm disk: load, no recording
+        assert second.cache_stats.disk_hits == 1
+        assert second.cache_stats.recordings == 0
+        assert second.cache_stats.as_dict()["disk_hits"] == 1
+
+    def test_corrupt_entry_recovers_by_rerecording(self, tiny_machine, tmp_path):
+        first = ExperimentContext(
+            tiny_machine, target_accesses=3_000, seed=7,
+            workloads=["water"], cache_dir=tmp_path,
+        )
+        original = first.artifacts("water")
+        (stream_file,) = tmp_path.glob("*.rllc.gz")
+        blob = stream_file.read_bytes()
+        stream_file.write_bytes(blob[: len(blob) // 2])
+
+        second = ExperimentContext(
+            tiny_machine, target_accesses=3_000, seed=7,
+            workloads=["water"], cache_dir=tmp_path,
+        )
+        recovered = second.artifacts("water")
+        assert second.cache_stats.corrupt_entries == 1
+        assert second.cache_stats.recordings == 1
+        assert list(recovered.stream.blocks) == list(original.stream.blocks)
+        # The bad entry was replaced: a third context loads cleanly.
+        third = ExperimentContext(
+            tiny_machine, target_accesses=3_000, seed=7,
+            workloads=["water"], cache_dir=tmp_path,
+        )
+        third.artifacts("water")
+        assert third.cache_stats.disk_hits == 1
+
+
+class TestMemoryBounds:
+    def test_clear_drops_memory_only(self, tiny_machine, tmp_path):
+        context = ExperimentContext(
+            tiny_machine, target_accesses=3_000, seed=7,
+            workloads=["water", "fft"], cache_dir=tmp_path,
+        )
+        context.artifacts("water")
+        context.artifacts("fft")
+        assert context.cached_workloads() == ["water", "fft"]
+        context.clear()
+        assert context.cached_workloads() == []
+        # Disk entries survive: the reload is a disk hit, not a recording.
+        context.artifacts("water")
+        assert context.cache_stats.disk_hits == 1
+        assert context.cache_stats.recordings == 2
+
+    def test_max_cached_evicts_lru_order(self, tiny_machine):
+        context = ExperimentContext(
+            tiny_machine, target_accesses=3_000, seed=7,
+            workloads=["water", "fft", "radix"], max_cached=2,
+        )
+        context.artifacts("water")
+        context.artifacts("fft")
+        context.artifacts("water")    # refresh water; fft is now oldest
+        context.artifacts("radix")    # evicts fft
+        assert context.cached_workloads() == ["water", "radix"]
+        assert context.cache_stats.memory_evictions == 1
+
+    def test_max_cached_must_be_positive(self, tiny_machine):
+        with pytest.raises(ConfigError):
+            ExperimentContext(tiny_machine, max_cached=0)
+
+    def test_cache_dir_must_not_be_a_file(self, tiny_machine, tmp_path):
+        blocker = tmp_path / "taken"
+        blocker.write_text("oops")
+        with pytest.raises(ConfigError, match="not a directory"):
+            ExperimentContext(tiny_machine, cache_dir=blocker)
+
+
+class TestCacheMaintenance:
+    def test_entries_and_clear(self, tiny_machine, tmp_path):
+        from repro.sim.experiment import cache_entries, clear_cache
+
+        ExperimentContext(
+            tiny_machine, target_accesses=3_000, seed=7,
+            workloads=["water"], cache_dir=tmp_path,
+        ).artifacts("water")
+        stranger = tmp_path / "notes.txt"
+        stranger.write_text("keep me")
+
+        entries = cache_entries(tmp_path)
+        assert len(entries) == 2  # stream + stats json
+        assert all(size > 0 for __, size in entries)
+
+        removed = clear_cache(tmp_path)
+        assert removed == 2
+        assert cache_entries(tmp_path) == []
+        assert stranger.exists()  # unrelated files are never touched
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        from repro.sim.experiment import cache_entries, clear_cache
+
+        missing = tmp_path / "nope"
+        assert cache_entries(missing) == []
+        assert clear_cache(missing) == 0

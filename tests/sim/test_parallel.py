@@ -1,0 +1,160 @@
+"""Tests for the parallel experiment engine.
+
+The load-bearing property is *bit-identity*: fanning the experiment matrix
+out over worker processes must return exactly the records the serial path
+produces — same miss counts, same stats, same ordering — because the
+parallel path is a pure scheduling change layered on deterministic cells.
+"""
+
+import pytest
+
+from repro.common.config import CacheGeometry
+from repro.common.errors import ConfigError
+from repro.sim.experiment import ExperimentContext
+from repro.sim.parallel import (
+    DEFAULT_JOBS_ENV,
+    ExperimentCell,
+    compare_many,
+    execute_cell,
+    jobs_from_env,
+    normalize_jobs,
+    oracle_many,
+    predict_many,
+    run_cells,
+    scaled_geometry,
+    sweep_many,
+)
+
+WORKLOADS = ["swaptions", "water", "fft", "radix"]
+
+
+@pytest.fixture
+def context(tiny_machine):
+    return ExperimentContext(
+        tiny_machine, target_accesses=3_000, seed=11, workloads=WORKLOADS
+    )
+
+
+def fresh_context(machine):
+    """A context with cold caches (each run must recompute from scratch)."""
+    return ExperimentContext(
+        machine, target_accesses=3_000, seed=11, workloads=WORKLOADS
+    )
+
+
+class TestJobsPlumbing:
+    def test_normalize_explicit(self):
+        assert normalize_jobs(3) == 3
+        assert normalize_jobs(1) == 1
+
+    def test_normalize_auto(self):
+        import os
+
+        expected = os.cpu_count() or 1
+        assert normalize_jobs(None) == expected
+        assert normalize_jobs(0) == expected
+
+    def test_normalize_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            normalize_jobs(-2)
+
+    def test_jobs_from_env(self, monkeypatch):
+        monkeypatch.delenv(DEFAULT_JOBS_ENV, raising=False)
+        assert jobs_from_env(default=1) == 1
+        monkeypatch.setenv(DEFAULT_JOBS_ENV, "4")
+        assert jobs_from_env(default=1) == 4
+        monkeypatch.setenv(DEFAULT_JOBS_ENV, "banana")
+        with pytest.raises(ConfigError):
+            jobs_from_env()
+
+
+class TestScaledGeometry:
+    def test_halving_and_doubling(self):
+        base = CacheGeometry(4096, 8)  # 64 blocks
+        assert scaled_geometry(base, 0.5).num_blocks == 32
+        assert scaled_geometry(base, 2.0).num_blocks == 128
+        assert scaled_geometry(base, 1.0) == base
+
+    def test_preserves_ways_and_block_size(self):
+        base = CacheGeometry(4096, 8, block_bytes=64)
+        scaled = scaled_geometry(base, 4.0)
+        assert scaled.ways == base.ways
+        assert scaled.block_bytes == base.block_bytes
+
+
+class TestExecuteCell:
+    def test_unknown_kind_rejected(self, context):
+        with pytest.raises(ConfigError):
+            execute_cell(context, ExperimentCell("frobnicate", "water"))
+
+    def test_record_cell_returns_artifacts(self, context):
+        name, artifacts = execute_cell(context, ExperimentCell("record", "water"))
+        assert name == "water"
+        assert artifacts.workload == "water"
+
+    def test_serial_run_cells_preserves_order(self, context):
+        cells = [ExperimentCell("record", name) for name in WORKLOADS]
+        results = run_cells(context, cells, jobs=1)
+        assert [name for name, __ in results] == WORKLOADS
+
+
+class TestSerialParallelIdentity:
+    """Same seeds => bit-identical results across --jobs 1 and --jobs 4."""
+
+    def test_compare_bit_identical(self, tiny_machine):
+        serial = compare_many(
+            fresh_context(tiny_machine), WORKLOADS, ["lru", "srrip"],
+            include_opt=True, jobs=1,
+        )
+        parallel = compare_many(
+            fresh_context(tiny_machine), WORKLOADS, ["lru", "srrip"],
+            include_opt=True, jobs=4,
+        )
+        assert serial == parallel  # PolicyComparison compares every stat
+        for name in WORKLOADS:
+            assert serial[name].results["lru"].misses \
+                == parallel[name].results["lru"].misses
+
+    def test_oracle_bit_identical(self, tiny_machine):
+        serial = oracle_many(
+            fresh_context(tiny_machine), WORKLOADS[:2], jobs=1
+        )
+        parallel = oracle_many(
+            fresh_context(tiny_machine), WORKLOADS[:2], jobs=4
+        )
+        assert serial == parallel
+
+    def test_sweep_bit_identical_and_keyed(self, tiny_machine):
+        factors = (0.5, 1.0, 2.0)
+        serial = sweep_many(
+            fresh_context(tiny_machine), WORKLOADS[:2], factors, jobs=1
+        )
+        parallel = sweep_many(
+            fresh_context(tiny_machine), WORKLOADS[:2], factors, jobs=4
+        )
+        assert list(serial) == [
+            (factor, name) for factor in factors for name in WORKLOADS[:2]
+        ]
+        assert serial == parallel
+
+    def test_predict_bit_identical(self, tiny_machine):
+        serial = predict_many(
+            fresh_context(tiny_machine), WORKLOADS[:2], ["address", "pc"],
+            jobs=1,
+        )
+        parallel = predict_many(
+            fresh_context(tiny_machine), WORKLOADS[:2], ["address", "pc"],
+            jobs=4,
+        )
+        assert serial == parallel
+
+
+class TestPrefetch:
+    def test_parallel_prefetch_fills_memory_cache(self, context):
+        context.prefetch(jobs=2)
+        assert set(context.cached_workloads()) == set(WORKLOADS)
+        # Artifacts shipped back from workers must equal a local recording.
+        local = fresh_context(context.machine).artifacts("water")
+        shipped = context.artifacts("water")
+        assert list(shipped.stream.blocks) == list(local.stream.blocks)
+        assert shipped.hierarchy_stats == local.hierarchy_stats

@@ -81,6 +81,52 @@ class TestCli:
             build_parser().parse_args(["compare", "--policies", "belady"])
 
 
+class TestParallelAndCacheCli:
+    def test_compare_jobs_output_identical(self, capsys):
+        args = ["compare", *FAST, "--policies", "lru", "srrip"]
+        assert main([*args, "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main([*args, "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_sweep_jobs_runs(self, capsys):
+        assert main(["sweep", *FAST, "--jobs", "2"]) == 0
+        assert "avg_oracle_red" in capsys.readouterr().out
+
+    def test_cache_info_and_clear(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["compare", *FAST, "--policies", "lru",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "info", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "cached streams" in out
+        assert "2" in out  # two workloads recorded
+
+        assert main(["cache", "clear", "--cache-dir", cache]) == 0
+        assert "removed 4" in capsys.readouterr().out
+
+        assert main(["cache", "info", "--cache-dir", cache]) == 0
+        assert " 0 |" in capsys.readouterr().out
+
+    def test_negative_jobs_clean_error(self, capsys):
+        assert main(["compare", *FAST, "--policies", "lru",
+                     "--jobs", "-1"]) == 2
+        err = capsys.readouterr().err
+        assert "jobs must be >= 0" in err
+        assert "Traceback" not in err
+
+    def test_no_cache_flag_skips_disk(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["characterize", *FAST, "--no-cache",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", cache]) == 0
+        assert " 0 |" in capsys.readouterr().out
+
+
 class TestNewPredictorsInCli:
     def test_predict_with_region_and_lastvalue(self, capsys):
         assert main(["predict", "--accesses", "3000", "--workloads", "water",
