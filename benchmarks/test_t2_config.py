@@ -12,6 +12,7 @@ from repro.cache.hierarchy import CmpHierarchy
 from repro.common.config import PROFILE_NAMES, profile
 from repro.policies.lru import LruPolicy
 from repro.sim.engine import LlcOnlySimulator
+from repro.sim.fastpath import replay_lru_fastpath
 from repro.workloads.registry import get_workload
 
 
@@ -45,7 +46,7 @@ def test_t2_simulator_throughput(benchmark, context):
         num_threads=8, scale=16, target_accesses=50_000, seed=7
     )
 
-    def run_both():
+    def run_all():
         hierarchy = CmpHierarchy(context.machine, LruPolicy())
         start = time.perf_counter()
         hierarchy.run(trace)
@@ -56,17 +57,26 @@ def test_t2_simulator_throughput(benchmark, context):
         # the stream is recorded (or loaded from the persistent cache).
         stream = context.artifacts("dedup").stream
         replay = LlcOnlySimulator(context.machine.llc, LruPolicy()).run(stream)
-        return hierarchy_rate, replay.accesses_per_sec
 
-    hierarchy_rate, replay_rate = once(benchmark, run_both)
+        # The same replay through the exact stack-distance fast path
+        # (bit-identical results; this is the LRU-cell speedup every
+        # sweep/oracle base replay sees).
+        fast = replay_lru_fastpath(stream, context.machine.llc)
+        assert (fast.hits, fast.misses) == (replay.hits, replay.misses)
+        return hierarchy_rate, replay.accesses_per_sec, fast.accesses_per_sec
+
+    hierarchy_rate, replay_rate, fastpath_rate = once(benchmark, run_all)
     emit(
         "t2_throughput",
         ["metric", "value"],
         [
             ["hierarchy accesses/sec", int(hierarchy_rate)],
             ["llc replay accesses/sec", int(replay_rate)],
+            ["lru fastpath accesses/sec", int(fastpath_rate)],
+            ["fastpath speedup", round(fastpath_rate / replay_rate, 2)],
         ],
         title="[T2b] Simulator throughput",
     )
     assert hierarchy_rate > 10_000
     assert replay_rate > 10_000
+    assert fastpath_rate >= 2 * replay_rate

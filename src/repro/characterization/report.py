@@ -5,6 +5,7 @@ chosen policy and returns everything the characterization figures need.
 """
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.cache.stream import LlcStream
 from repro.characterization.hits import HitBreakdown, SharingClassifier
@@ -29,6 +30,7 @@ def characterize_stream(
     policy_name: str = "lru",
     seed: int = 0,
     track_phases: bool = True,
+    fastpath: Optional[bool] = None,
 ) -> CharacterizationReport:
     """Replay ``stream`` under ``policy_name`` with characterization attached.
 
@@ -39,20 +41,33 @@ def characterize_stream(
         seed: seed for stochastic policies.
         track_phases: also collect per-block phase statistics (costs memory
             proportional to the block footprint).
+        fastpath: three-state gate for the exact stack-distance fast path
+            on plain-LRU replays (None = auto; results are bit-identical
+            either way).
     """
     # Imported here rather than at module level: repro.sim.experiment
     # imports this module, and pulling the engine in lazily keeps the
     # package import graph acyclic whichever package is imported first.
     from repro.sim.engine import LlcOnlySimulator
+    from repro.sim.fastpath import (
+        fastpath_eligible,
+        fastpath_enabled,
+        replay_lru_fastpath,
+    )
 
     classifier = SharingClassifier()
     observers = [classifier]
     phase_tracker = SharingPhaseTracker() if track_phases else None
     if phase_tracker is not None:
         observers.append(phase_tracker)
-    policy = make_policy(policy_name, seed=seed)
-    simulator = LlcOnlySimulator(geometry, policy, observers=tuple(observers))
-    result = simulator.run(stream)
+    if fastpath_eligible(policy_name) and fastpath_enabled(fastpath):
+        result = replay_lru_fastpath(
+            stream, geometry, observers=tuple(observers)
+        )
+    else:
+        policy = make_policy(policy_name, seed=seed)
+        simulator = LlcOnlySimulator(geometry, policy, observers=tuple(observers))
+        result = simulator.run(stream)
     phases = phase_tracker.finalize() if phase_tracker is not None else PhaseStats()
     return CharacterizationReport(
         result=result, breakdown=classifier.breakdown, phases=phases

@@ -44,6 +44,7 @@ from repro.sim.experiment import (
     ExperimentContext,
     cache_entries,
     clear_cache,
+    orphan_tmp_entries,
     resolve_cache_dir,
     shared_context,
 )
@@ -74,6 +75,15 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="disable the persistent stream cache",
     )
+    _add_fastpath_argument(parser)
+
+
+def _add_fastpath_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-fastpath", action="store_true",
+        help="force the scalar cache model even for plain-LRU replays "
+             "(results are bit-identical; this only trades speed)",
+    )
 
 
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
@@ -92,10 +102,16 @@ def _cache_spec(args):
     return AUTO_CACHE_DIR
 
 
+def _fastpath_spec(args) -> Optional[bool]:
+    """Three-state fastpath gate from the CLI flag (None = auto)."""
+    return False if getattr(args, "no_fastpath", False) else None
+
+
 def _context(args) -> ExperimentContext:
     context = shared_context(
         args.profile, args.accesses, args.seed, cache_dir=_cache_spec(args)
     )
+    context.fastpath = _fastpath_spec(args)
     if args.workloads:
         unknown = set(args.workloads) - set(workload_names())
         if unknown:
@@ -241,6 +257,7 @@ def cmd_cache(args) -> int:
         print(f"removed {removed} cached artifact file(s) from {directory}")
         return 0
     entries = cache_entries(spec)
+    orphans = orphan_tmp_entries(spec)
     streams = [e for e in entries if e[0].name.endswith((".rllc", ".rllc.gz"))]
     total = sum(size for __, size in entries)
     print(render_table(
@@ -250,6 +267,8 @@ def cmd_cache(args) -> int:
             ["cached streams", len(streams)],
             ["total files", len(entries)],
             ["total bytes", total],
+            ["orphan tmp files", len(orphans)],
+            ["orphan tmp bytes", sum(size for __, size in orphans)],
         ],
         title="Persistent stream cache",
     ))
@@ -269,6 +288,7 @@ def cmd_phases(args) -> int:
         run_policy_on_stream(
             artifacts.stream, context.geometry, "lru",
             seed=args.seed, observers=(tracker, profiler),
+            fastpath=context.fastpath,
         )
         stats = tracker.finalize()
         profile = profiler.finalize()
@@ -300,7 +320,9 @@ def cmd_mix(args) -> int:
         seed=args.seed,
     )
     stream, stats = record_llc_stream(trace, context.machine)
-    study = run_oracle_study(stream, context.geometry, base=args.base)
+    study = run_oracle_study(
+        stream, context.geometry, base=args.base, fastpath=context.fastpath
+    )
     print(render_table(
         ["metric", "value"],
         [
@@ -340,7 +362,8 @@ def cmd_replay(args) -> int:
         row = [stream.name]
         for policy in args.policies:
             result = run_policy_on_stream(stream, geometry, policy,
-                                          seed=args.seed)
+                                          seed=args.seed,
+                                          fastpath=_fastpath_spec(args))
             row.append(result.miss_ratio)
         if args.opt:
             row.append(run_opt(stream, geometry).miss_ratio)
@@ -416,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=POLICY_NAMES)
     p.add_argument("--opt", action="store_true", help="include Belady's OPT")
     p.add_argument("--seed", type=int, default=42)
+    _add_fastpath_argument(p)
 
     p = subparsers.add_parser("cache",
                               help="inspect or clear the persistent stream cache")

@@ -124,9 +124,15 @@ class MachineConfig:
         return self.llc.block_bytes
 
     def with_llc_size(self, size_bytes: int) -> "MachineConfig":
-        """Return a copy with a different LLC capacity (same ways/block)."""
+        """Return a copy with a different LLC capacity (same ways/block).
+
+        Idempotent in the name: resizing an already-resized machine replaces
+        the ``@llc=`` suffix instead of stacking a second one (suffixes feed
+        cache keys and result-row labels, so stacking silently forked both).
+        """
         new_llc = replace(self.llc, size_bytes=size_bytes)
-        return replace(self, llc=new_llc, name=f"{self.name}@llc={size_bytes}")
+        base_name = self.name.split("@llc=", 1)[0]
+        return replace(self, llc=new_llc, name=f"{base_name}@llc={size_bytes}")
 
     def describe(self) -> str:
         """Multi-line configuration summary (used by the T2 bench)."""

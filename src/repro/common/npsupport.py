@@ -7,10 +7,22 @@ its pure-Python twin on interpreters without numpy. Design decision #4
 to produce bit-identical outputs, so which one runs never changes a result.
 """
 
-try:  # pragma: no cover - exercised implicitly by every vectorized kernel
-    import numpy
-except ImportError:  # pragma: no cover - numpy ships with the toolchain
+import os
+
+NO_NUMPY_ENV = "REPRO_SIM_NO_NUMPY"
+"""Set (to any non-empty value) to pretend numpy is absent.
+
+CI's no-numpy job and the pure-Python equivalence tests use this to drive
+every kernel down its Python twin without uninstalling anything.
+"""
+
+if os.environ.get(NO_NUMPY_ENV):
     numpy = None
+else:
+    try:  # pragma: no cover - exercised implicitly by every vectorized kernel
+        import numpy
+    except ImportError:  # pragma: no cover - numpy ships with the toolchain
+        numpy = None
 
 HAVE_NUMPY = numpy is not None
 """True when numpy is importable; vectorized kernels key off this."""

@@ -16,6 +16,11 @@ from repro.oracle.residency import FillSharingLog
 from repro.oracle.wrapper import SharingAwareWrapper
 from repro.policies.registry import make_policy
 from repro.sim.engine import LlcOnlySimulator
+from repro.sim.fastpath import (
+    fastpath_eligible,
+    fastpath_enabled,
+    replay_lru_fastpath,
+)
 from repro.sim.results import LlcSimResult
 
 
@@ -71,6 +76,7 @@ def run_oracle_study(
     horizon_factor: Optional[int] = None,
     cap: int = BUDGET_CAP,
     seed: int = 0,
+    fastpath: Optional[bool] = None,
 ) -> OracleStudyResult:
     """Measure the sharing oracle's gain over ``base`` on ``stream``.
 
@@ -95,6 +101,9 @@ def run_oracle_study(
         cap: budget saturation value.
         seed: seed for stochastic base policies (both replays re-seed the
             base identically so only the oracle differs).
+        fastpath: three-state gate for the exact stack-distance fast path
+            on the plain-LRU base replay (None = auto; the oracle-wrapped
+            replay always uses the scalar model).
     """
     if horizon_turnovers <= 0:
         raise ConfigError(
@@ -105,9 +114,14 @@ def run_oracle_study(
         return make_policy(base, seed=derive_seed(seed, "oracle-base", base))
 
     base_log = FillSharingLog(len(stream))
-    base_result = LlcOnlySimulator(
-        geometry, fresh_base(), observers=(base_log,)
-    ).run(stream)
+    if fastpath_eligible(base) and fastpath_enabled(fastpath):
+        base_result = replay_lru_fastpath(
+            stream, geometry, observers=(base_log,)
+        )
+    else:
+        base_result = LlcOnlySimulator(
+            geometry, fresh_base(), observers=(base_log,)
+        ).run(stream)
     shared_fill_fraction = (
         base_log.shared_fills / base_log.total_fills if base_log.total_fills else 0.0
     )

@@ -22,6 +22,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import re
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -125,6 +126,10 @@ class ExperimentContext:
         max_cached: LRU bound on in-memory :class:`WorkloadArtifacts`
             (``None`` = unbounded). Long full-size sweeps set this so the
             context doesn't hold every stream in RAM at once.
+        fastpath: three-state gate for the exact stack-distance LRU fast
+            path in this context's replay analyses (None = auto: enabled
+            unless ``REPRO_SIM_NO_FASTPATH`` is set). Results are
+            bit-identical either way.
     """
 
     def __init__(
@@ -135,6 +140,7 @@ class ExperimentContext:
         workloads: Optional[Iterable[str]] = None,
         cache_dir: Optional[Union[str, Path]] = None,
         max_cached: Optional[int] = None,
+        fastpath: Optional[bool] = None,
     ):
         if max_cached is not None and max_cached < 1:
             raise ConfigError(f"max_cached must be >= 1, got {max_cached}")
@@ -156,6 +162,7 @@ class ExperimentContext:
                 f"cache dir {self.cache_dir} exists and is not a directory"
             )
         self.max_cached = max_cached
+        self.fastpath = fastpath
         self.cache_stats = ArtifactCacheStats()
 
     # ------------------------------------------------------------------
@@ -222,7 +229,11 @@ class ExperimentContext:
         Writes go to per-process temp names and land via atomic renames, so
         concurrent worker processes recording the same workload can never
         leave a half-written entry behind (last complete writer wins, and
-        every writer produces identical bits anyway).
+        every writer produces identical bits anyway). The *stream* lands
+        before the *stats*: ``_load_cached`` requires both files, so a
+        crash between the two renames leaves a stream without stats (an
+        ignorable orphan) rather than stats advertising a stream that
+        never landed.
         """
         if self.cache_dir is None:
             return
@@ -238,8 +249,8 @@ class ExperimentContext:
             "trace": dataclasses.asdict(artifacts.trace_stats),
             "hierarchy": dataclasses.asdict(artifacts.hierarchy_stats),
         }))
-        os.replace(stats_tmp, stats_path)
         os.replace(stream_tmp, stream_path)
+        os.replace(stats_tmp, stats_path)
         self.cache_stats.disk_stores += 1
 
     # ------------------------------------------------------------------
@@ -348,7 +359,8 @@ class ExperimentContext:
 
         artifacts = self.artifacts(name)
         return characterize_stream(
-            artifacts.stream, self.geometry, policy_name=policy, seed=self.seed
+            artifacts.stream, self.geometry, policy_name=policy,
+            seed=self.seed, fastpath=self.fastpath,
         )
 
     def compare_policies(
@@ -359,7 +371,8 @@ class ExperimentContext:
         results = {}
         for policy in policies:
             results[policy] = run_policy_on_stream(
-                artifacts.stream, self.geometry, policy, seed=self.seed
+                artifacts.stream, self.geometry, policy, seed=self.seed,
+                fastpath=self.fastpath,
             )
         if include_opt:
             results["opt"] = run_opt(artifacts.stream, self.geometry)
@@ -380,7 +393,7 @@ class ExperimentContext:
         return run_oracle_study(
             artifacts.stream, self.geometry, base=base, mode=mode,
             release=release, horizon_turnovers=horizon_turnovers,
-            seed=self.seed,
+            seed=self.seed, fastpath=self.fastpath,
         )
 
 
@@ -412,27 +425,59 @@ def shared_context(
 
 _CACHE_PATTERNS = ("*.rllc.gz", "*.rllc", "*.json")
 
+_TMP_MARKER = re.compile(r"^tmp\d+-")
+"""Per-process temp prefix used by :meth:`ExperimentContext._store_cached`.
+
+A worker killed between writing its temp files and the atomic renames
+leaves ``tmp{pid}-*`` orphans behind; the maintenance helpers below report
+and sweep them so a crashed sweep can't leak disk forever.
+"""
+
+
+def _scan_cache(directory: Path):
+    """Split recognised cache files into (published, orphan-tmp) lists."""
+    published, orphans = [], []
+    for pattern in _CACHE_PATTERNS:
+        for path in sorted(directory.glob(pattern)):
+            entry = (path, path.stat().st_size)
+            if _TMP_MARKER.match(path.name):
+                orphans.append(entry)
+            else:
+                published.append(entry)
+    return published, orphans
+
 
 def cache_entries(cache_dir: Optional[Union[str, Path]] = AUTO_CACHE_DIR):
-    """The (path, size) pairs of recognised artifact files in the cache."""
+    """The (path, size) pairs of published artifact files in the cache.
+
+    Orphaned ``tmp{pid}-*`` files from killed writers are excluded — see
+    :func:`orphan_tmp_entries`.
+    """
     directory = resolve_cache_dir(cache_dir)
     if directory is None or not directory.is_dir():
         return []
-    entries = []
-    for pattern in _CACHE_PATTERNS:
-        for path in sorted(directory.glob(pattern)):
-            entries.append((path, path.stat().st_size))
-    return entries
+    published, __ = _scan_cache(directory)
+    return published
+
+
+def orphan_tmp_entries(cache_dir: Optional[Union[str, Path]] = AUTO_CACHE_DIR):
+    """The (path, size) pairs of orphaned per-process temp files."""
+    directory = resolve_cache_dir(cache_dir)
+    if directory is None or not directory.is_dir():
+        return []
+    __, orphans = _scan_cache(directory)
+    return orphans
 
 
 def clear_cache(cache_dir: Optional[Union[str, Path]] = AUTO_CACHE_DIR) -> int:
     """Delete recognised artifact files from the cache; returns the count.
 
+    Sweeps orphaned ``tmp{pid}-*`` files along with the published entries.
     Only files matching the artifact naming patterns are touched — the
     directory itself, and anything else in it, is left alone.
     """
     removed = 0
-    for path, __ in cache_entries(cache_dir):
+    for path, __ in cache_entries(cache_dir) + orphan_tmp_entries(cache_dir):
         try:
             path.unlink()
             removed += 1

@@ -9,7 +9,7 @@ The standard experiment pipeline is:
    under each policy of interest (all passes see identical accesses).
 """
 
-from typing import Tuple, Union
+from typing import Optional, Tuple, Union
 
 from repro.cache.hierarchy import CmpHierarchy, HierarchyStats
 from repro.cache.stream import LlcStream
@@ -19,6 +19,11 @@ from repro.policies.base import ReplacementPolicy
 from repro.policies.opt import BeladyOptPolicy, compute_next_use
 from repro.policies.registry import make_policy
 from repro.sim.engine import LlcOnlySimulator
+from repro.sim.fastpath import (
+    fastpath_eligible,
+    fastpath_enabled,
+    replay_lru_fastpath,
+)
 from repro.sim.results import LlcSimResult
 from repro.trace.trace import Trace
 
@@ -52,8 +57,17 @@ def run_policy_on_stream(
     policy: Union[str, ReplacementPolicy],
     seed: int = 0,
     observers: Tuple = (),
+    fastpath: Optional[bool] = None,
 ) -> LlcSimResult:
-    """Replay ``stream`` under a policy given by name or instance."""
+    """Replay ``stream`` under a policy given by name or instance.
+
+    Plain ``"lru"`` replays take the exact stack-distance fast path
+    (bit-identical results, see :mod:`repro.sim.fastpath`) unless
+    ``fastpath`` is False or ``REPRO_SIM_NO_FASTPATH`` is set; policy
+    instances and every other policy replay through the scalar model.
+    """
+    if fastpath_eligible(policy) and fastpath_enabled(fastpath):
+        return replay_lru_fastpath(stream, geometry, observers=observers)
     if isinstance(policy, str):
         policy = make_policy(policy, seed=derive_seed(seed, "replay", policy))
     simulator = LlcOnlySimulator(geometry, policy, observers=observers)

@@ -20,6 +20,7 @@ the serial and parallel paths share one implementation, which is what makes
 the bit-identical guarantee structural rather than aspirational.
 """
 
+import math
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -55,9 +56,34 @@ def jobs_from_env(default: int = 1) -> int:
 
 
 def scaled_geometry(geometry: CacheGeometry, factor: float) -> CacheGeometry:
-    """The LLC geometry with capacity scaled by ``factor`` (same ways/block)."""
-    blocks = int(geometry.num_blocks * factor)
-    return CacheGeometry(blocks * geometry.block_bytes, geometry.ways)
+    """The LLC geometry with capacity scaled by ``factor`` (same ways/block).
+
+    ``CacheGeometry`` requires a power-of-two set count and a capacity that
+    is a multiple of ``ways * block_bytes``, so arbitrary factors cannot be
+    honoured exactly: the scaled set count is snapped to the nearest power
+    of two (ties round up, floor one set). Power-of-two factors such as
+    0.5/1/2/4 are exact; fractional factors like 0.3 or 0.75 land on the
+    closest valid geometry instead of silently truncating the capacity into
+    an invalid one.
+
+    Raises:
+        ConfigError: if ``factor`` is not a positive finite number.
+    """
+    if not isinstance(factor, (int, float)) or isinstance(factor, bool):
+        raise ConfigError(f"capacity factor must be a number, got {factor!r}")
+    if not math.isfinite(factor) or factor <= 0:
+        raise ConfigError(f"capacity factor must be positive and finite, got {factor!r}")
+    target = geometry.num_sets * factor
+    if target <= 1:
+        num_sets = 1
+    else:
+        lower = 1 << int(math.floor(math.log2(target)))
+        upper = lower * 2
+        # Nearest power of two by linear distance; exact targets stay put,
+        # midpoints round up (the larger LLC is the conservative choice).
+        num_sets = upper if (upper - target) <= (target - lower) else lower
+    size_bytes = num_sets * geometry.ways * geometry.block_bytes
+    return CacheGeometry(size_bytes, geometry.ways, geometry.block_bytes)
 
 
 @dataclass(frozen=True)
@@ -97,6 +123,7 @@ def execute_cell(context, cell: ExperimentCell):
         return run_oracle_study(
             artifacts.stream, scaled_geometry(context.geometry, factor),
             base=base, horizon_turnovers=turnovers, seed=context.seed,
+            fastpath=context.fastpath,
         )
     if cell.kind == "predict":
         from repro.predictors.harness import PredictorHarness
@@ -108,6 +135,7 @@ def execute_cell(context, cell: ExperimentCell):
         run_policy_on_stream(
             artifacts.stream, context.geometry, "lru",
             seed=context.seed, observers=(harness,),
+            fastpath=context.fastpath,
         )
         return harness.matrix
     raise ConfigError(f"unknown experiment cell kind {cell.kind!r}")
@@ -120,14 +148,16 @@ def execute_cell(context, cell: ExperimentCell):
 _WORKER_CONTEXT = None
 
 
-def _init_worker(machine, target_accesses, seed, workloads, cache_dir) -> None:
+def _init_worker(
+    machine, target_accesses, seed, workloads, cache_dir, fastpath=None
+) -> None:
     """Build this worker's context once; cells then share its stream cache."""
     from repro.sim.experiment import ExperimentContext
 
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = ExperimentContext(
         machine, target_accesses=target_accesses, seed=seed,
-        workloads=workloads, cache_dir=cache_dir,
+        workloads=workloads, cache_dir=cache_dir, fastpath=fastpath,
     )
 
 
@@ -157,7 +187,7 @@ def run_cells(
         initializer=_init_worker,
         initargs=(
             context.machine, context.target_accesses, context.seed,
-            list(context.workload_list), context.cache_dir,
+            list(context.workload_list), context.cache_dir, context.fastpath,
         ),
     ) as executor:
         return list(executor.map(_run_cell, cells, chunksize=chunksize))

@@ -104,6 +104,23 @@ class TestMachineConfig:
         assert bigger.llc.ways == machine.llc.ways
         assert bigger.l2 == machine.l2
 
+    def test_with_llc_size_appends_suffix_once(self):
+        machine = scaled_4mb()
+        size = machine.llc.size_bytes
+        resized = machine.with_llc_size(size * 2)
+        assert resized.name == f"{machine.name}@llc={size * 2}"
+        # Re-resizing replaces the suffix instead of stacking a second one.
+        again = resized.with_llc_size(size * 4)
+        assert again.name == f"{machine.name}@llc={size * 4}"
+        assert again.name.count("@llc=") == 1
+
+    def test_with_llc_size_roundtrip_restores_name(self):
+        machine = scaled_4mb()
+        size = machine.llc.size_bytes
+        roundtrip = machine.with_llc_size(size * 2).with_llc_size(size)
+        assert roundtrip.name == f"{machine.name}@llc={size}"
+        assert roundtrip.llc == machine.llc
+
     def test_describe_mentions_cores_and_llc(self):
         text = full_4mb().describe()
         assert "8" in text

@@ -224,3 +224,85 @@ class TestCacheMaintenance:
         missing = tmp_path / "nope"
         assert cache_entries(missing) == []
         assert clear_cache(missing) == 0
+
+    def test_orphan_tmp_files_reported_and_swept(self, tiny_machine, tmp_path):
+        from repro.sim.experiment import (
+            cache_entries,
+            clear_cache,
+            orphan_tmp_entries,
+        )
+
+        ExperimentContext(
+            tiny_machine, target_accesses=3_000, seed=7,
+            workloads=["water"], cache_dir=tmp_path,
+        ).artifacts("water")
+        # Leftovers of a writer killed mid-store (pid 4242).
+        (tmp_path / "tmp4242-dead.rllc.gz").write_bytes(b"partial")
+        (tmp_path / "tmp4242-dead.json").write_text("{}")
+
+        published = cache_entries(tmp_path)
+        orphans = orphan_tmp_entries(tmp_path)
+        assert len(published) == 2  # orphans never counted as artifacts
+        assert sorted(path.name for path, __ in orphans) \
+            == ["tmp4242-dead.json", "tmp4242-dead.rllc.gz"]
+
+        assert clear_cache(tmp_path) == 4  # sweeps orphans too
+        assert orphan_tmp_entries(tmp_path) == []
+        assert cache_entries(tmp_path) == []
+
+
+class TestStoreCrashSafety:
+    """A writer killed between the two publish renames must be harmless."""
+
+    def _crash_on_stats_rename(self, monkeypatch):
+        import os as os_module
+
+        real_replace = os_module.replace
+        calls = []
+
+        def flaky_replace(src, dst):
+            calls.append(str(dst))
+            if str(dst).endswith(".json"):
+                raise KeyboardInterrupt("killed between renames")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.sim.experiment.os.replace", flaky_replace)
+        return calls
+
+    def test_killed_store_leaves_no_stale_stats(self, tiny_machine, tmp_path,
+                                                monkeypatch):
+        from repro.sim.experiment import orphan_tmp_entries
+
+        calls = self._crash_on_stats_rename(monkeypatch)
+        first = ExperimentContext(
+            tiny_machine, target_accesses=3_000, seed=7,
+            workloads=["water"], cache_dir=tmp_path,
+        )
+        with pytest.raises(KeyboardInterrupt):
+            first.artifacts("water")
+        # The stream rename happened first; the stats never published.
+        assert any(dst.endswith(".rllc.gz") for dst in calls)
+        published_stats = [p for p in tmp_path.glob("*.json")
+                           if not p.name.startswith("tmp")]
+        assert published_stats == []
+        # The unpublished stats temp is a recognised, sweepable orphan.
+        orphans = orphan_tmp_entries(tmp_path)
+        assert len(orphans) == 1
+        assert orphans[0][0].name.endswith(".json")
+        assert orphans[0][0].name.startswith("tmp")
+
+        monkeypatch.undo()
+        # A fresh context must not trust the half-published entry: the
+        # stream-without-stats pair reads as a miss and re-records to the
+        # same bits.
+        second = ExperimentContext(
+            tiny_machine, target_accesses=3_000, seed=7,
+            workloads=["water"], cache_dir=tmp_path,
+        )
+        recovered = second.artifacts("water")
+        assert second.cache_stats.recordings == 1
+        reference = ExperimentContext(
+            tiny_machine, target_accesses=3_000, seed=7, workloads=["water"]
+        ).artifacts("water")
+        assert list(recovered.stream.blocks) == list(reference.stream.blocks)
+        assert recovered.hierarchy_stats == reference.hierarchy_stats

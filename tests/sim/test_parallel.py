@@ -81,6 +81,27 @@ class TestScaledGeometry:
         assert scaled.ways == base.ways
         assert scaled.block_bytes == base.block_bytes
 
+    def test_fractional_factors_snap_to_valid_geometry(self):
+        base = CacheGeometry(256 * 8 * 64, 8)  # 256 sets
+        # 0.3 * 256 = 76.8 -> nearest power of two is 64.
+        assert scaled_geometry(base, 0.3).num_sets == 64
+        # 0.75 * 256 = 192, equidistant from 128 and 256: ties round up.
+        assert scaled_geometry(base, 0.75).num_sets == 256
+        # Every snapped result satisfies the CacheGeometry invariants.
+        for factor in (0.1, 0.3, 0.6, 0.75, 1.3, 3.0):
+            scaled = scaled_geometry(base, factor)
+            assert scaled.num_sets & (scaled.num_sets - 1) == 0
+
+    def test_tiny_factor_floors_at_one_set(self):
+        base = CacheGeometry(4 * 2 * 64, 2)  # 4 sets
+        assert scaled_geometry(base, 0.01).num_sets == 1
+
+    def test_invalid_factors_rejected(self):
+        base = CacheGeometry(4096, 8)
+        for bad in (0, -0.5, float("nan"), float("inf"), "2", None, True):
+            with pytest.raises(ConfigError):
+                scaled_geometry(base, bad)
+
 
 class TestExecuteCell:
     def test_unknown_kind_rejected(self, context):

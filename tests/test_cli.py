@@ -126,6 +126,48 @@ class TestParallelAndCacheCli:
         assert main(["cache", "info", "--cache-dir", cache]) == 0
         assert " 0 |" in capsys.readouterr().out
 
+    def test_cache_info_reports_orphan_tmp_files(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        (cache / "tmp999-stale.rllc.gz").write_bytes(b"partial")
+        assert main(["cache", "info", "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "orphan tmp files" in out
+
+        assert main(["cache", "clear", "--cache-dir", str(cache)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert not (cache / "tmp999-stale.rllc.gz").exists()
+
+
+class TestFastpathCli:
+    def test_no_fastpath_output_identical(self, capsys):
+        args = ["characterize", *FAST]
+        assert main(args) == 0
+        fast = capsys.readouterr().out
+        assert main([*args, "--no-fastpath"]) == 0
+        scalar = capsys.readouterr().out
+        assert scalar == fast
+
+    def test_replay_accepts_no_fastpath(self, capsys, tmp_path):
+        assert main(["record", "--accesses", "3000", "--workloads", "water",
+                     "--out-prefix", str(tmp_path / "s_")]) == 0
+        capsys.readouterr()
+        path = str(tmp_path / "s_water.rllc.gz")
+        assert main(["replay", path, "--policies", "lru"]) == 0
+        fast = capsys.readouterr().out
+        assert main(["replay", path, "--policies", "lru",
+                     "--no-fastpath"]) == 0
+        scalar = capsys.readouterr().out
+        assert scalar == fast
+
+    def test_oracle_no_fastpath_identical(self, capsys):
+        args = ["oracle", *FAST, "--base", "lru"]
+        assert main(args) == 0
+        fast = capsys.readouterr().out
+        assert main([*args, "--no-fastpath"]) == 0
+        scalar = capsys.readouterr().out
+        assert scalar == fast
+
 
 class TestNewPredictorsInCli:
     def test_predict_with_region_and_lastvalue(self, capsys):
