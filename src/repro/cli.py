@@ -31,6 +31,7 @@ Examples::
 
 import argparse
 import sys
+from contextlib import contextmanager
 from typing import List, Optional
 
 from repro.analysis.aggregate import append_group_means, append_summary_rows
@@ -39,6 +40,7 @@ from repro.common.config import PROFILE_NAMES
 from repro.common.errors import ReproError
 from repro.policies.registry import POLICY_NAMES
 from repro.predictors.registry import PREDICTOR_NAMES
+from repro.sim import telemetry
 from repro.sim.experiment import (
     AUTO_CACHE_DIR,
     ExperimentContext,
@@ -48,8 +50,51 @@ from repro.sim.experiment import (
     resolve_cache_dir,
     shared_context,
 )
-from repro.sim.parallel import compare_many, oracle_many, predict_many, sweep_many
+from repro.sim.parallel import (
+    DEFAULT_RETRIES,
+    compare_many,
+    oracle_many,
+    predict_many,
+    sweep_many,
+)
+from repro.sim.results import is_failure, split_failures
 from repro.workloads.registry import workload_names
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: reject nonpositive values at parse time, not in a
+    worker process halfway through a sweep."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """argparse type: integer >= 0 (``--jobs 0`` means every core)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: strictly positive float (timeouts, horizons)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -62,10 +107,11 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         help="workload subset (default: all)",
     )
     parser.add_argument(
-        "--accesses", type=int, default=300_000,
+        "--accesses", type=_positive_int, default=300_000,
         help="per-workload access budget (default: 300000)",
     )
-    parser.add_argument("--seed", type=int, default=42, help="base seed")
+    parser.add_argument("--seed", type=_nonnegative_int, default=42,
+                        help="base seed")
     parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="persistent stream cache directory "
@@ -74,6 +120,16 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the persistent stream cache",
+    )
+    telemetry_group = parser.add_mutually_exclusive_group()
+    telemetry_group.add_argument(
+        "--telemetry", dest="telemetry", action="store_true", default=True,
+        help="record a run manifest + event log under <cache>/runs "
+             "(default: on; inspect with 'repro-sim runs list/show')",
+    )
+    telemetry_group.add_argument(
+        "--no-telemetry", dest="telemetry", action="store_false",
+        help="disable run telemetry (outputs are byte-identical)",
     )
     _add_fastpath_argument(parser)
 
@@ -88,10 +144,36 @@ def _add_fastpath_argument(parser: argparse.ArgumentParser) -> None:
 
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
+        "--jobs", type=_nonnegative_int, default=1, metavar="N",
         help="worker processes for the experiment matrix "
              "(1 = serial, 0 = all cores; results are bit-identical)",
     )
+    parser.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort the whole run on the first cell error (default: "
+             "retry, then complete with partial results and record the "
+             "failures in the run manifest)",
+    )
+    parser.add_argument(
+        "--retries", type=_nonnegative_int, default=DEFAULT_RETRIES,
+        metavar="N",
+        help=f"retry budget per failing cell (default: {DEFAULT_RETRIES}; "
+             "ignored under --fail-fast)",
+    )
+    parser.add_argument(
+        "--cell-timeout", type=_positive_float, default=None, metavar="SEC",
+        help="per-cell completion deadline in seconds (parallel graceful "
+             "mode only; default: none)",
+    )
+
+
+def _run_kwargs(args) -> dict:
+    """:func:`repro.sim.parallel.run_cells` knobs from parsed flags."""
+    return {
+        "fail_fast": getattr(args, "fail_fast", False),
+        "retries": getattr(args, "retries", DEFAULT_RETRIES),
+        "timeout": getattr(args, "cell_timeout", None),
+    }
 
 
 def _cache_spec(args):
@@ -120,6 +202,57 @@ def _context(args) -> ExperimentContext:
     return context
 
 
+def _runs_root(args):
+    """Where this invocation's run records live (tracks --cache-dir)."""
+    spec = getattr(args, "cache_dir", None)
+    if spec:
+        return telemetry.resolve_runs_root(cache_dir=spec)
+    return telemetry.resolve_runs_root()
+
+
+@contextmanager
+def _telemetry_run(args, command: str, context=None):
+    """Scope one CLI invocation as a telemetry run (or a no-op).
+
+    Emits the manifest skeleton up front, activates the recorder so every
+    stage span from here (including worker processes) lands in the event
+    log, and seals the manifest with the final status — ``failed`` on an
+    exception, ``completed_with_failures`` when graceful mode recorded
+    failed cells, ``completed`` otherwise.
+    """
+    if not getattr(args, "telemetry", True):
+        yield None
+        return
+    run = telemetry.create_run(
+        _runs_root(args), command=command, argv=sys.argv[1:]
+    )
+    run.update_manifest(**telemetry.describe_environment(context))
+    with telemetry.activate(run):
+        try:
+            yield run
+        except BaseException as error:
+            run.finish(status="failed",
+                       error=f"{type(error).__name__}: {error}")
+            print(f"telemetry: run {run.run_id} -> {run.run_dir}",
+                  file=sys.stderr)
+            raise
+    cells = run.manifest.get("cells") or {}
+    status = "completed_with_failures" if cells.get("failed") else "completed"
+    run.finish(status=status)
+    print(f"telemetry: run {run.run_id} -> {run.run_dir}", file=sys.stderr)
+
+
+def _report_failures(failures) -> None:
+    """Surface graceful-mode cell failures on stderr (tables skip them)."""
+    for failure in failures:
+        print(
+            f"warning: cell ({failure.kind}, {failure.workload}) failed "
+            f"after {failure.attempts} attempt(s): "
+            f"{failure.error_type}: {failure.error}",
+            file=sys.stderr,
+        )
+
+
 def cmd_list(args) -> int:
     print("workloads :", ", ".join(workload_names()))
     print("policies  :", ", ".join(POLICY_NAMES), "(+ opt via compare --opt)")
@@ -131,8 +264,10 @@ def cmd_list(args) -> int:
 def cmd_characterize(args) -> int:
     context = _context(args)
     rows = []
-    for name in context.workload_list:
-        report = context.characterize(name)
+    with _telemetry_run(args, "characterize", context):
+        reports = {name: context.characterize(name)
+                   for name in context.workload_list}
+    for name, report in reports.items():
         b = report.breakdown
         rows.append([
             name,
@@ -159,10 +294,18 @@ def cmd_characterize(args) -> int:
 
 def cmd_compare(args) -> int:
     context = _context(args)
-    comparisons = compare_many(
-        context, context.workload_list, args.policies,
-        include_opt=args.opt, jobs=args.jobs,
-    )
+    with _telemetry_run(args, "compare", context) as run:
+        if run:
+            run.update_manifest(
+                policies=list(args.policies) + (["opt"] if args.opt else []),
+                jobs=args.jobs,
+            )
+        comparisons = compare_many(
+            context, context.workload_list, args.policies,
+            include_opt=args.opt, jobs=args.jobs, **_run_kwargs(args),
+        )
+    comparisons, failures = split_failures(comparisons)
+    _report_failures(failures)
     rows = []
     for name, comparison in comparisons.items():
         rows.append([name] + [comparison.results[p].miss_ratio
@@ -176,10 +319,15 @@ def cmd_compare(args) -> int:
 
 def cmd_oracle(args) -> int:
     context = _context(args)
-    studies = oracle_many(
-        context, context.workload_list, base=args.base, mode=args.mode,
-        turnovers=args.turnovers, jobs=args.jobs,
-    )
+    with _telemetry_run(args, "oracle", context) as run:
+        if run:
+            run.update_manifest(policies=[args.base], jobs=args.jobs)
+        studies = oracle_many(
+            context, context.workload_list, base=args.base, mode=args.mode,
+            turnovers=args.turnovers, jobs=args.jobs, **_run_kwargs(args),
+        )
+    studies, failures = split_failures(studies)
+    _report_failures(failures)
     rows = []
     for name, study in studies.items():
         rows.append([
@@ -201,9 +349,16 @@ def cmd_oracle(args) -> int:
 
 def cmd_predict(args) -> int:
     context = _context(args)
-    matrices = predict_many(
-        context, context.workload_list, args.predictors, jobs=args.jobs
-    )
+    with _telemetry_run(args, "predict", context) as run:
+        if run:
+            run.update_manifest(predictors=list(args.predictors),
+                                jobs=args.jobs)
+        matrices = predict_many(
+            context, context.workload_list, args.predictors, jobs=args.jobs,
+            **_run_kwargs(args),
+        )
+    matrices, failures = split_failures(matrices)
+    _report_failures(failures)
     rows = []
     for (name, predictor_name), m in matrices.items():
         rows.append([
@@ -229,14 +384,24 @@ def cmd_sweep(args) -> int:
     from repro.sim.parallel import scaled_geometry
 
     context = _context(args)
-    studies = sweep_many(
-        context, context.workload_list, SWEEP_FACTORS,
-        base=args.base, turnovers=args.turnovers, jobs=args.jobs,
-    )
+    with _telemetry_run(args, "sweep", context) as run:
+        if run:
+            run.update_manifest(policies=[args.base], jobs=args.jobs,
+                                factors=list(SWEEP_FACTORS))
+        studies = sweep_many(
+            context, context.workload_list, SWEEP_FACTORS,
+            base=args.base, turnovers=args.turnovers, jobs=args.jobs,
+            **_run_kwargs(args),
+        )
+    studies, failures = split_failures(studies)
+    _report_failures(failures)
     rows = []
     for factor in SWEEP_FACTORS:
         per_workload = [studies[(factor, name)]
-                        for name in context.workload_list]
+                        for name in context.workload_list
+                        if (factor, name) in studies]
+        if not per_workload:
+            continue  # every cell of this capacity point failed
         reductions = [study.miss_reduction for study in per_workload]
         miss_ratios = [study.base.miss_ratio for study in per_workload]
         rows.append([scaled_geometry(context.geometry, factor).describe(),
@@ -282,21 +447,22 @@ def cmd_phases(args) -> int:
 
     context = _context(args)
     rows = []
-    for name in context.workload_list:
-        artifacts = context.artifacts(name)
-        tracker, profiler = SharingPhaseTracker(), PcSharingProfiler()
-        run_policy_on_stream(
-            artifacts.stream, context.geometry, "lru",
-            seed=args.seed, observers=(tracker, profiler),
-            fastpath=context.fastpath,
-        )
-        stats = tracker.finalize()
-        profile = profiler.finalize()
-        rows.append([
-            name, stats.transitions, stats.last_value_accuracy,
-            stats.bimodal_block_fraction, profile.majority_accuracy,
-            profile.mixed_pc_fraction,
-        ])
+    with _telemetry_run(args, "phases", context):
+        for name in context.workload_list:
+            artifacts = context.artifacts(name)
+            tracker, profiler = SharingPhaseTracker(), PcSharingProfiler()
+            run_policy_on_stream(
+                artifacts.stream, context.geometry, "lru",
+                seed=args.seed, observers=(tracker, profiler),
+                fastpath=context.fastpath,
+            )
+            stats = tracker.finalize()
+            profile = profiler.finalize()
+            rows.append([
+                name, stats.transitions, stats.last_value_accuracy,
+                stats.bimodal_block_fraction, profile.majority_accuracy,
+                profile.mixed_pc_fraction,
+            ])
     print(render_table(
         ["workload", "transitions", "last_value_acc", "bimodal_blocks",
          "pc_majority_acc", "mixed_pcs"],
@@ -313,16 +479,18 @@ def cmd_mix(args) -> int:
 
     context = _context(args)
     mix = MultiprogramMix(args.components)
-    trace = mix.generate(
-        num_threads=context.machine.num_cores,
-        scale=context.machine.scale,
-        target_accesses=args.accesses,
-        seed=args.seed,
-    )
-    stream, stats = record_llc_stream(trace, context.machine)
-    study = run_oracle_study(
-        stream, context.geometry, base=args.base, fastpath=context.fastpath
-    )
+    with _telemetry_run(args, "mix", context):
+        trace = mix.generate(
+            num_threads=context.machine.num_cores,
+            scale=context.machine.scale,
+            target_accesses=args.accesses,
+            seed=args.seed,
+        )
+        stream, stats = record_llc_stream(trace, context.machine)
+        study = run_oracle_study(
+            stream, context.geometry, base=args.base,
+            fastpath=context.fastpath,
+        )
     print(render_table(
         ["metric", "value"],
         [
@@ -342,35 +510,121 @@ def cmd_record(args) -> int:
     from repro.cache.stream_io import write_llc_stream
 
     context = _context(args)
-    for name in context.workload_list:
-        artifacts = context.artifacts(name)
-        path = f"{args.out_prefix}{name}.rllc.gz"
-        write_llc_stream(artifacts.stream, path)
-        print(f"recorded {name}: {len(artifacts.stream)} LLC accesses -> {path}")
+    with _telemetry_run(args, "record", context):
+        for name in context.workload_list:
+            artifacts = context.artifacts(name)
+            path = f"{args.out_prefix}{name}.rllc.gz"
+            write_llc_stream(artifacts.stream, path)
+            print(f"recorded {name}: {len(artifacts.stream)} LLC accesses"
+                  f" -> {path}")
     return 0
 
 
 def cmd_replay(args) -> int:
     from repro.cache.stream_io import read_llc_stream
     from repro.common.config import profile as load_profile
+    from repro.common.errors import ConfigError
+    from repro.common.rng import derive_seed
+    from repro.policies.registry import make_policy
     from repro.sim.multipass import run_opt, run_policy_on_stream
+    from repro.sim.sampling import SampledLlcSimulator
 
     geometry = load_profile(args.profile).llc
+    if args.sample_ratio > 1:
+        if args.opt:
+            raise ConfigError(
+                "--opt needs the full stream; it cannot be combined with "
+                "--sample-ratio > 1"
+            )
+        if geometry.num_sets % args.sample_ratio != 0:
+            # Reject before any stream is read or replayed.
+            raise ConfigError(
+                f"--sample-ratio {args.sample_ratio} must divide the "
+                f"{geometry.num_sets} LLC sets of profile {args.profile}"
+            )
     rows = []
     for path in args.streams:
         stream = read_llc_stream(path)
         row = [stream.name]
         for policy in args.policies:
-            result = run_policy_on_stream(stream, geometry, policy,
-                                          seed=args.seed,
-                                          fastpath=_fastpath_spec(args))
-            row.append(result.miss_ratio)
+            if args.sample_ratio > 1:
+                simulator = SampledLlcSimulator(
+                    geometry,
+                    make_policy(policy,
+                                seed=derive_seed(args.seed, "replay", policy)),
+                    sample_ratio=args.sample_ratio,
+                )
+                row.append(simulator.run(stream).miss_ratio)
+            else:
+                result = run_policy_on_stream(stream, geometry, policy,
+                                              seed=args.seed,
+                                              fastpath=_fastpath_spec(args))
+                row.append(result.miss_ratio)
         if args.opt:
             row.append(run_opt(stream, geometry).miss_ratio)
         rows.append(row)
     headers = ["stream"] + list(args.policies) + (["opt"] if args.opt else [])
+    suffix = (f", 1/{args.sample_ratio} sets sampled"
+              if args.sample_ratio > 1 else "")
     print(render_table(headers, rows,
-                       title=f"Replayed miss ratios ({args.profile})"))
+                       title=f"Replayed miss ratios ({args.profile}{suffix})"))
+    return 0
+
+
+def cmd_runs(args) -> int:
+    root = _runs_root(args)
+    if args.action == "list":
+        rows = []
+        for run in telemetry.list_runs(root):
+            manifest = run.manifest
+            cells = manifest.get("cells") or {}
+            rows.append([
+                run.run_id,
+                manifest.get("command", "?"),
+                run.status,
+                manifest.get("machine", "?"),
+                len(manifest.get("workloads") or []),
+                cells.get("completed", ""),
+                cells.get("failed", ""),
+                manifest.get("wall_sec", ""),
+            ])
+        print(render_table(
+            ["run", "command", "status", "machine", "workloads",
+             "cells_ok", "cells_failed", "wall_sec"],
+            rows,
+            title=f"Telemetry runs ({root})",
+        ))
+        return 0
+
+    run = telemetry.load_run(args.run_id, root)
+    skip = {"failures", "argv"}
+    rows = [[key, value] for key, value in run.manifest.items()
+            if key not in skip]
+    print(render_table(["field", "value"], rows,
+                       title=f"Run {run.run_id} manifest"))
+    events = telemetry.read_events(run.path)
+    stages = telemetry.summarize_spans(events)
+    if stages:
+        stage_rows = []
+        for stage, stats in sorted(stages.items()):
+            view = stats.as_dict()
+            stage_rows.append([
+                stage, view["count"], round(view["total"], 4),
+                round(view["mean"], 4), round(view["max"], 4),
+            ])
+        print(render_table(
+            ["stage", "spans", "total_sec", "mean_sec", "max_sec"],
+            stage_rows, title="Stage spans",
+        ))
+    failures = run.manifest.get("failures") or []
+    if failures:
+        print(render_table(
+            ["cell", "workload", "error", "attempts"],
+            [[f.get("kind"), f.get("workload"),
+              f"{f.get('error_type')}: {f.get('error')}", f.get("attempts")]
+             for f in failures],
+            title="Failed cells",
+        ))
     return 0
 
 
@@ -400,7 +654,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--base", default="lru", choices=POLICY_NAMES)
     p.add_argument("--mode", default="both",
                    choices=("victim-exempt", "insert-promote", "both"))
-    p.add_argument("--turnovers", type=float, default=1.75,
+    p.add_argument("--turnovers", type=_positive_float, default=1.75,
                    help="oracle retention horizon in cache turnovers")
 
     p = subparsers.add_parser("predict", help="fill-time predictor accuracy")
@@ -413,7 +667,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(p)
     _add_jobs_argument(p)
     p.add_argument("--base", default="lru", choices=POLICY_NAMES)
-    p.add_argument("--turnovers", type=float, default=1.75)
+    p.add_argument("--turnovers", type=_positive_float, default=1.75)
 
     p = subparsers.add_parser("phases",
                               help="sharing stability and PC ambiguity")
@@ -438,7 +692,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policies", nargs="*", default=["lru", "srrip"],
                    choices=POLICY_NAMES)
     p.add_argument("--opt", action="store_true", help="include Belady's OPT")
-    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--seed", type=_nonnegative_int, default=42)
+    p.add_argument("--sample-ratio", type=_positive_int, default=1,
+                   metavar="N",
+                   help="simulate only every Nth LLC set (UMON-style set "
+                        "sampling; 1 = full simulation)")
     _add_fastpath_argument(p)
 
     p = subparsers.add_parser("cache",
@@ -448,6 +706,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="cache directory (default: $REPRO_SIM_CACHE_DIR "
                         "or ~/.cache/repro-sim)")
+
+    p = subparsers.add_parser(
+        "runs", help="inspect telemetry run manifests and event logs"
+    )
+    p.add_argument("action", choices=("list", "show"),
+                   help="list: one row per run; show: manifest + stage "
+                        "spans + failed cells of one run")
+    p.add_argument("run_id", nargs="?", default=None,
+                   help="run id (unique prefixes accepted; required for "
+                        "'show')")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="cache directory whose runs/ to inspect")
     return parser
 
 
@@ -463,12 +733,16 @@ _COMMANDS = {
     "record": cmd_record,
     "replay": cmd_replay,
     "cache": cmd_cache,
+    "runs": cmd_runs,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "runs" and args.action == "show" and not args.run_id:
+        print("error: 'runs show' needs a run id", file=sys.stderr)
+        return 2
     try:
         return _COMMANDS[args.command](args)
     except ReproError as error:

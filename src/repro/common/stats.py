@@ -36,6 +36,49 @@ def geometric_mean(values: Iterable[float]) -> float:
     return math.exp(total / count)
 
 
+class RunningStats:
+    """Streaming min/max/mean over a sequence of floats.
+
+    Telemetry span aggregation (``repro-sim runs show``) folds many event
+    wall times into one of these per stage without holding the events.
+    """
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation in."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 before any observation)."""
+        return safe_div(self.total, self.count, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view; min/max are 0.0 before any observation."""
+        empty = self.count == 0
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": 0.0 if empty else self.min,
+            "max": 0.0 if empty else self.max,
+        }
+
+    def __repr__(self) -> str:
+        return (f"RunningStats(count={self.count}, mean={self.mean:.6g}, "
+                f"min={self.min:.6g}, max={self.max:.6g})")
+
+
 class CounterBag:
     """A dict-backed bundle of named integer counters.
 

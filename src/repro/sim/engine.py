@@ -13,6 +13,7 @@ from repro.cache.llc import SharedLlc
 from repro.cache.stream import LlcStream
 from repro.common.config import CacheGeometry
 from repro.policies.base import ReplacementPolicy
+from repro.sim import telemetry
 from repro.sim.results import LlcSimResult
 
 
@@ -46,7 +47,7 @@ class LlcOnlySimulator:
         elapsed = perf_counter() - start
         if flush:
             self.llc.flush_residencies()
-        return LlcSimResult(
+        result = LlcSimResult(
             policy=self.llc.policy.name,
             stream_name=stream.name,
             accesses=self.llc.access_count,
@@ -54,3 +55,13 @@ class LlcOnlySimulator:
             misses=self.llc.misses,
             elapsed_sec=elapsed,
         )
+        # One event per replay (never per access): telemetry overhead on a
+        # warm replay cell is a single line append, disabled it is one
+        # global None check inside telemetry.emit.
+        telemetry.emit(
+            "span", stage="replay", policy=result.policy,
+            stream=result.stream_name, wall_sec=round(elapsed, 6),
+            accesses=result.accesses, hits=result.hits,
+            misses=result.misses, fastpath=False,
+        )
+        return result

@@ -38,6 +38,7 @@ from repro.cache.stream_io import (
 from repro.common.config import MachineConfig, profile
 from repro.common.errors import ConfigError, TraceError
 from repro.common.rng import derive_seed
+from repro.sim import telemetry
 from repro.sim.multipass import record_llc_stream, run_opt, run_policy_on_stream
 from repro.sim.results import PolicyComparison
 from repro.trace.stats import TraceStatistics, compute_trace_statistics
@@ -144,6 +145,12 @@ class ExperimentContext:
     ):
         if max_cached is not None and max_cached < 1:
             raise ConfigError(f"max_cached must be >= 1, got {max_cached}")
+        if target_accesses < 1:
+            raise ConfigError(
+                f"target_accesses must be >= 1, got {target_accesses}"
+            )
+        if seed < 0:
+            raise ConfigError(f"seed must be >= 0, got {seed}")
         self.machine = machine
         self.geometry = machine.llc
         self.target_accesses = target_accesses
@@ -287,16 +294,22 @@ class ExperimentContext:
         against: same machine/seed/budget always yields the same bits.
         """
         model = get_workload(name)
-        trace = model.generate(
-            num_threads=self.machine.num_cores,
-            scale=self.machine.scale,
-            target_accesses=self.target_accesses,
-            seed=derive_seed(self.seed, "trace", name),
-        )
+        with telemetry.span("trace_gen", workload=name) as info:
+            trace = model.generate(
+                num_threads=self.machine.num_cores,
+                scale=self.machine.scale,
+                target_accesses=self.target_accesses,
+                seed=derive_seed(self.seed, "trace", name),
+            )
+            info["accesses"] = len(trace)
         trace_stats = compute_trace_statistics(trace)
-        stream, hierarchy_stats = record_llc_stream(
-            trace, self.machine, seed=self.seed
-        )
+        with telemetry.span("hierarchy_record", workload=name) as info:
+            stream, hierarchy_stats = record_llc_stream(
+                trace, self.machine, seed=self.seed
+            )
+            info["accesses"] = hierarchy_stats.accesses
+            info["llc_accesses"] = hierarchy_stats.llc_accesses
+            info["llc_misses"] = hierarchy_stats.llc_misses
         self.cache_stats.recordings += 1
         return WorkloadArtifacts(
             workload=name,
@@ -315,14 +328,17 @@ class ExperimentContext:
         if cached is not None:
             self.cache_stats.memory_hits += 1
             self._artifacts.move_to_end(name)
+            telemetry.emit("artifact", workload=name, tier="memory")
             return cached
         cached = self._load_cached(name)
         if cached is not None:
             self._remember(name, cached)
+            telemetry.emit("artifact", workload=name, tier="disk")
             return cached
         artifacts = self.record_artifacts(name)
         self._remember(name, artifacts)
         self._store_cached(artifacts)
+        telemetry.emit("artifact", workload=name, tier="recorded")
         return artifacts
 
     def all_artifacts(self) -> Dict[str, WorkloadArtifacts]:
@@ -339,8 +355,12 @@ class ExperimentContext:
                 self.artifacts(name)
             return
         from repro.sim.parallel import prefetch_artifacts
+        from repro.sim.results import is_failure
 
-        for name, artifacts in prefetch_artifacts(self, names, jobs=jobs):
+        for record in prefetch_artifacts(self, names, jobs=jobs):
+            if is_failure(record):
+                continue  # graceful-mode cells; the failure is in the manifest
+            name, artifacts = record
             if name not in self._artifacts:
                 self._remember(name, artifacts)
 
@@ -390,11 +410,17 @@ class ExperimentContext:
         from repro.oracle.runner import run_oracle_study
 
         artifacts = self.artifacts(name)
-        return run_oracle_study(
-            artifacts.stream, self.geometry, base=base, mode=mode,
-            release=release, horizon_turnovers=horizon_turnovers,
-            seed=self.seed, fastpath=self.fastpath,
-        )
+        with telemetry.span("oracle", workload=name, base=base,
+                            mode=mode) as info:
+            study = run_oracle_study(
+                artifacts.stream, self.geometry, base=base, mode=mode,
+                release=release, horizon_turnovers=horizon_turnovers,
+                seed=self.seed, fastpath=self.fastpath,
+            )
+            info["accesses"] = study.base.accesses
+            info["base_misses"] = study.base.misses
+            info["oracle_misses"] = study.oracle.misses
+        return study
 
 
 _SHARED: Dict[tuple, ExperimentContext] = {}

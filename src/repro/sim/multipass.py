@@ -16,6 +16,7 @@ from repro.cache.stream import LlcStream
 from repro.common.config import CacheGeometry, MachineConfig
 from repro.common.rng import derive_seed
 from repro.policies.base import ReplacementPolicy
+from repro.sim import telemetry
 from repro.policies.opt import BeladyOptPolicy, compute_next_use
 from repro.policies.registry import make_policy
 from repro.sim.engine import LlcOnlySimulator
@@ -67,7 +68,14 @@ def run_policy_on_stream(
     instances and every other policy replay through the scalar model.
     """
     if fastpath_eligible(policy) and fastpath_enabled(fastpath):
-        return replay_lru_fastpath(stream, geometry, observers=observers)
+        result = replay_lru_fastpath(stream, geometry, observers=observers)
+        telemetry.emit(
+            "span", stage="replay", policy=result.policy,
+            stream=result.stream_name, wall_sec=round(result.elapsed_sec, 6),
+            accesses=result.accesses, hits=result.hits,
+            misses=result.misses, fastpath=True,
+        )
+        return result
     if isinstance(policy, str):
         policy = make_policy(policy, seed=derive_seed(seed, "replay", policy))
     simulator = LlcOnlySimulator(geometry, policy, observers=observers)

@@ -18,20 +18,96 @@ fans the matrix out over a :class:`~concurrent.futures.ProcessPoolExecutor`:
 ``jobs <= 1`` executes the identical cell functions inline in the parent —
 the serial and parallel paths share one implementation, which is what makes
 the bit-identical guarantee structural rather than aspirational.
+
+Fault tolerance: by default (``fail_fast=True``) any cell error aborts the
+run, exactly as before. With ``fail_fast=False`` each failing cell is
+retried up to ``retries`` times with exponential backoff — including cells
+lost to a *dying worker process*, which breaks the pool and forces a pool
+rebuild — and a cell that exhausts its budget (or exceeds ``timeout``
+seconds after dispatch) yields a :class:`~repro.sim.results.CellFailure`
+in its result slot instead of aborting the sweep. Failures are recorded in
+the active telemetry run's manifest and event log.
 """
 
 import math
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.config import CacheGeometry
-from repro.common.errors import ConfigError
-from repro.sim.results import PolicyComparison
+from repro.common.errors import ConfigError, SimulationError
+from repro.sim import telemetry
+from repro.sim.results import CellFailure, PolicyComparison
 
 DEFAULT_JOBS_ENV = "REPRO_SIM_JOBS"
 """Environment variable supplying a default worker count."""
+
+DEFAULT_RETRIES = 1
+"""Extra attempts granted to a failing cell in graceful mode."""
+
+DEFAULT_BACKOFF = 0.25
+"""Base delay (seconds) before retrying a failed cell; doubles per retry."""
+
+FAULT_ENV = "REPRO_SIM_FAULT_INJECT"
+"""Fault-injection hook (tests only): ``kind:workload:mode``.
+
+``mode`` is one of ``raise`` (the cell raises a :class:`SimulationError`
+every time), ``exit`` (the executing process dies via ``os._exit`` —
+breaking the pool, exactly like a segfault or an OOM kill), or ``flaky``
+(the cell raises once, then succeeds on retry; requires
+:data:`FAULT_STATE_ENV` to point at a scratch directory for the
+fired-once marker), or ``hang`` (the cell sleeps 5 s before proceeding —
+long enough to trip a short ``timeout`` without racing worker start-up).
+``workload`` may be ``*``.
+"""
+
+FAULT_STATE_ENV = "REPRO_SIM_FAULT_STATE"
+"""Scratch directory holding ``flaky`` fault markers (shared by workers)."""
+
+
+def _maybe_inject_fault(cell: "ExperimentCell") -> None:
+    """Crash or raise on behalf of the test-only fault-injection hook."""
+    spec = os.environ.get(FAULT_ENV)
+    if not spec:
+        return
+    try:
+        kind, workload, mode = spec.split(":")
+    except ValueError:
+        raise ConfigError(
+            f"{FAULT_ENV}={spec!r}: expected 'kind:workload:mode'"
+        ) from None
+    if cell.kind != kind or workload not in ("*", cell.workload):
+        return
+    if mode == "exit":
+        os._exit(17)
+    if mode == "hang":
+        time.sleep(5.0)
+        return
+    if mode == "flaky":
+        state_dir = os.environ.get(FAULT_STATE_ENV)
+        if not state_dir:
+            raise ConfigError(f"{FAULT_ENV} mode 'flaky' needs {FAULT_STATE_ENV}")
+        marker = os.path.join(
+            state_dir, f"fired-{cell.kind}-{cell.workload}"
+        )
+        try:
+            # Atomic create-once: the first attempt (in whichever process)
+            # claims the marker and fails; every later attempt succeeds.
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return
+        os.close(fd)
+        raise SimulationError(
+            f"injected flaky fault in cell ({cell.kind}, {cell.workload})"
+        )
+    if mode == "raise":
+        raise SimulationError(
+            f"injected fault in cell ({cell.kind}, {cell.workload})"
+        )
+    raise ConfigError(f"{FAULT_ENV}={spec!r}: unknown mode {mode!r}")
 
 
 def normalize_jobs(jobs: Optional[int]) -> int:
@@ -102,6 +178,7 @@ class ExperimentCell:
 
 def execute_cell(context, cell: ExperimentCell):
     """Run one cell against ``context``. Shared by serial and worker paths."""
+    _maybe_inject_fault(cell)
     artifacts = context.artifacts(cell.workload)
     if cell.kind == "record":
         return cell.workload, artifacts
@@ -149,9 +226,14 @@ _WORKER_CONTEXT = None
 
 
 def _init_worker(
-    machine, target_accesses, seed, workloads, cache_dir, fastpath=None
+    machine, target_accesses, seed, workloads, cache_dir, fastpath=None,
+    telemetry_dir=None,
 ) -> None:
-    """Build this worker's context once; cells then share its stream cache."""
+    """Build this worker's context once; cells then share its stream cache.
+
+    ``telemetry_dir`` attaches the worker to the parent's run so its stage
+    spans land in the shared event log (appends are line-atomic).
+    """
     from repro.sim.experiment import ExperimentContext
 
     global _WORKER_CONTEXT
@@ -159,38 +241,241 @@ def _init_worker(
         machine, target_accesses=target_accesses, seed=seed,
         workloads=workloads, cache_dir=cache_dir, fastpath=fastpath,
     )
+    if telemetry_dir is not None:
+        telemetry.set_current(telemetry.attach_worker(telemetry_dir))
 
 
 def _run_cell(cell: ExperimentCell):
     return execute_cell(_WORKER_CONTEXT, cell)
 
 
+def _cell_failure(cell: ExperimentCell, error: BaseException,
+                  attempts: int) -> CellFailure:
+    failure = CellFailure(
+        kind=cell.kind, workload=cell.workload, params=cell.params,
+        error_type=type(error).__name__, error=str(error) or repr(error),
+        attempts=attempts,
+    )
+    telemetry.emit("cell_failed", cell_kind=failure.kind,
+                   workload=failure.workload, error_type=failure.error_type,
+                   error=failure.error, attempts=failure.attempts)
+    return failure
+
+
+def _record_cell_summary(results: List) -> None:
+    """Fold the cells' outcome into the active run manifest, if any."""
+    recorder = telemetry.current()
+    if recorder is None or recorder.role != "main":
+        return
+    failures = [r for r in results if isinstance(r, CellFailure)]
+    recorder.update_manifest(
+        cells={
+            "total": len(results),
+            "completed": len(results) - len(failures),
+            "failed": len(failures),
+        },
+        failures=[failure.as_dict() for failure in failures],
+    )
+
+
+def _run_cells_serial(
+    context, cells: List[ExperimentCell], fail_fast: bool,
+    retries: int, backoff: float,
+) -> List:
+    results = []
+    for cell in cells:
+        if fail_fast:
+            results.append(execute_cell(context, cell))
+            continue
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                results.append(execute_cell(context, cell))
+                break
+            except Exception as error:
+                if attempts > retries:
+                    results.append(_cell_failure(cell, error, attempts))
+                    break
+                telemetry.emit("cell_retry", cell_kind=cell.kind,
+                               workload=cell.workload, attempt=attempts,
+                               error_type=type(error).__name__)
+                time.sleep(backoff * (2 ** (attempts - 1)))
+    return results
+
+
+class CellTimeoutError(SimulationError):
+    """A cell missed its completion deadline (parent-side bookkeeping)."""
+
+
+def _run_cells_pool(
+    context, cells: List[ExperimentCell], jobs: int, fail_fast: bool,
+    retries: int, timeout: Optional[float], backoff: float,
+) -> List:
+    """Fan cells out over a process pool, surviving worker deaths.
+
+    Submission is windowed to ``jobs`` outstanding futures so a dispatched
+    cell starts (nearly) immediately — which is what makes ``timeout``,
+    measured from dispatch, a deadline on the cell itself rather than on
+    its queueing luck. A dead worker breaks the whole
+    :class:`ProcessPoolExecutor`; the loop absorbs that by rebuilding the
+    pool and re-dispatching every unfinished cell, charging one attempt to
+    each (the victim cannot be told apart from its queued pool-mates).
+    """
+    recorder = telemetry.current()
+    initargs = (
+        context.machine, context.target_accesses, context.seed,
+        list(context.workload_list), context.cache_dir, context.fastpath,
+        str(recorder.run_dir) if recorder is not None else None,
+    )
+    max_workers = min(jobs, len(cells))
+
+    def make_pool():
+        return ProcessPoolExecutor(
+            max_workers=max_workers, initializer=_init_worker,
+            initargs=initargs,
+        )
+
+    if fail_fast:
+        retries = 0
+    results: List = [None] * len(cells)
+    queue = list(range(len(cells)))  # indices awaiting (re-)dispatch
+    queue.reverse()  # pop() dispatches in submission order
+    attempts = [0] * len(cells)
+    not_before = [0.0] * len(cells)  # backoff deadlines
+    pending: Dict = {}  # future -> (index, dispatch monotonic time)
+    executor = make_pool()
+
+    def fail_or_retry(index: int, error: BaseException) -> None:
+        cell = cells[index]
+        if fail_fast:
+            raise error
+        if attempts[index] > retries:
+            results[index] = _cell_failure(cell, error, attempts[index])
+            return
+        telemetry.emit("cell_retry", cell_kind=cell.kind,
+                       workload=cell.workload, attempt=attempts[index],
+                       error_type=type(error).__name__)
+        not_before[index] = (
+            time.monotonic() + backoff * (2 ** (attempts[index] - 1))
+        )
+        queue.append(index)
+
+    try:
+        while queue or pending:
+            now = time.monotonic()
+            while queue and len(pending) < max_workers:
+                # Dispatch backoff-ready cells first; if everything queued
+                # is still backing off and nothing is running, just wait
+                # out the nearest deadline.
+                ready = [i for i in reversed(queue) if not_before[i] <= now]
+                if not ready:
+                    if pending:
+                        break
+                    wait_for = min(not_before[i] for i in queue) - now
+                    time.sleep(max(wait_for, 0.0))
+                    now = time.monotonic()
+                    continue
+                index = ready[0]
+                queue.remove(index)
+                attempts[index] += 1
+                pending[executor.submit(_run_cell, cells[index])] = (index, now)
+            if not pending:
+                continue
+            poll = 0.1 if timeout is not None else None
+            done, __ = wait(set(pending), timeout=poll,
+                            return_when=FIRST_COMPLETED)
+            broken = False
+            for future in done:
+                index, __ = pending.pop(future)
+                error = future.exception()
+                if error is None:
+                    results[index] = future.result()
+                elif isinstance(error, BrokenProcessPool):
+                    # The pool is gone; every sibling future is dead too.
+                    pending[future] = (index, 0.0)
+                    broken = True
+                    break
+                else:
+                    fail_or_retry(index, error)
+            if broken:
+                telemetry.emit("pool_broken", pending=len(pending))
+                if fail_fast:
+                    raise SimulationError(
+                        "a worker process died (crash or kill); rerun "
+                        "without --fail-fast to complete with partial "
+                        "results"
+                    )
+                executor.shutdown(wait=False, cancel_futures=True)
+                for future, (index, __) in pending.items():
+                    fail_or_retry(
+                        index,
+                        SimulationError("worker process died mid-cell"),
+                    )
+                pending.clear()
+                executor = make_pool()
+                continue
+            if timeout is not None:
+                now = time.monotonic()
+                for future in [f for f, (__, t0) in pending.items()
+                               if now - t0 > timeout]:
+                    index, t0 = pending.pop(future)
+                    future.cancel()  # a running cell keeps its worker busy
+                    fail_or_retry(index, CellTimeoutError(
+                        f"cell ({cells[index].kind}, {cells[index].workload}) "
+                        f"exceeded {timeout}s deadline"
+                    ))
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    return results
+
+
 def run_cells(
-    context, cells: Sequence[ExperimentCell], jobs: Optional[int] = 1
+    context,
+    cells: Sequence[ExperimentCell],
+    jobs: Optional[int] = 1,
+    fail_fast: bool = True,
+    retries: int = DEFAULT_RETRIES,
+    timeout: Optional[float] = None,
+    backoff: float = DEFAULT_BACKOFF,
 ) -> List:
     """Execute ``cells`` and return their results in submission order.
 
     ``jobs <= 1`` runs inline on ``context`` (populating its caches);
     otherwise a process pool fans out and the parent's in-memory cache is
     left untouched. Either way the returned records are bit-identical.
+
+    Args:
+        fail_fast: True (default) aborts on the first cell error, exactly
+            as the engine always behaved. False degrades gracefully: each
+            failing cell is retried, then replaced by a
+            :class:`~repro.sim.results.CellFailure` in its result slot
+            while every other cell still completes.
+        retries: extra attempts per failing cell (graceful mode only).
+        timeout: per-cell completion deadline in seconds, measured from
+            dispatch to a worker (graceful parallel mode only; ``None``
+            disables). A timed-out cell is retried like any failure, but
+            its still-running attempt keeps occupying one worker slot.
+        backoff: base retry delay; doubles with each retry of a cell.
     """
     jobs = normalize_jobs(jobs)
     cells = list(cells)
+    if timeout is not None and timeout <= 0:
+        raise ConfigError(f"timeout must be positive, got {timeout}")
+    if retries < 0:
+        raise ConfigError(f"retries must be >= 0, got {retries}")
+    telemetry.emit("cells_start", total=len(cells), jobs=jobs,
+                   fail_fast=fail_fast, retries=retries, timeout=timeout)
     if jobs <= 1 or len(cells) <= 1:
-        return [execute_cell(context, cell) for cell in cells]
-
-    # Contiguous chunks keep one workload's cells in one worker, so a
-    # worker records/loads each stream at most once per process.
-    chunksize = max(1, len(cells) // (jobs * 2))
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(cells)),
-        initializer=_init_worker,
-        initargs=(
-            context.machine, context.target_accesses, context.seed,
-            list(context.workload_list), context.cache_dir, context.fastpath,
-        ),
-    ) as executor:
-        return list(executor.map(_run_cell, cells, chunksize=chunksize))
+        results = _run_cells_serial(context, cells, fail_fast, retries, backoff)
+    else:
+        results = _run_cells_pool(
+            context, cells, jobs, fail_fast, retries, timeout, backoff
+        )
+    failed = sum(isinstance(r, CellFailure) for r in results)
+    telemetry.emit("cells_done", total=len(results), failed=failed)
+    _record_cell_summary(results)
+    return results
 
 
 # ----------------------------------------------------------------------
@@ -204,11 +489,11 @@ def _sorted_by_workload(cells: List[ExperimentCell]) -> List[ExperimentCell]:
 
 
 def prefetch_artifacts(
-    context, names: Iterable[str], jobs: Optional[int] = 1
+    context, names: Iterable[str], jobs: Optional[int] = 1, **run_kwargs
 ) -> List[Tuple[str, object]]:
     """Record/load artifacts for many workloads in parallel."""
     cells = [ExperimentCell("record", name) for name in names]
-    return run_cells(context, cells, jobs=jobs)
+    return run_cells(context, cells, jobs=jobs, **run_kwargs)
 
 
 def compare_many(
@@ -217,14 +502,22 @@ def compare_many(
     policies: Sequence[str],
     include_opt: bool = False,
     jobs: Optional[int] = 1,
+    **run_kwargs,
 ) -> Dict[str, PolicyComparison]:
-    """Policy comparisons for many workloads, keyed by workload."""
+    """Policy comparisons for many workloads, keyed by workload.
+
+    ``run_kwargs`` (``fail_fast``/``retries``/``timeout``/``backoff``)
+    forward to :func:`run_cells`; in graceful mode a failed workload's
+    value is its :class:`~repro.sim.results.CellFailure` — use
+    :func:`repro.sim.results.split_failures` to partition. Same for the
+    other ``*_many`` helpers.
+    """
     workloads = list(workloads)
     cells = [
         ExperimentCell("compare", name, (tuple(policies), include_opt))
         for name in workloads
     ]
-    results = run_cells(context, cells, jobs=jobs)
+    results = run_cells(context, cells, jobs=jobs, **run_kwargs)
     return dict(zip(workloads, results))
 
 
@@ -236,6 +529,7 @@ def oracle_many(
     release: str = "budget",
     turnovers: float = 1.75,
     jobs: Optional[int] = 1,
+    **run_kwargs,
 ) -> Dict[str, object]:
     """Oracle studies for many workloads, keyed by workload."""
     workloads = list(workloads)
@@ -243,7 +537,7 @@ def oracle_many(
         ExperimentCell("oracle", name, (base, mode, release, turnovers))
         for name in workloads
     ]
-    results = run_cells(context, cells, jobs=jobs)
+    results = run_cells(context, cells, jobs=jobs, **run_kwargs)
     return dict(zip(workloads, results))
 
 
@@ -254,6 +548,7 @@ def sweep_many(
     base: str = "lru",
     turnovers: float = 1.75,
     jobs: Optional[int] = 1,
+    **run_kwargs,
 ) -> Dict[Tuple[float, str], object]:
     """Capacity-sweep oracle studies keyed by (factor, workload)."""
     workloads = list(workloads)
@@ -262,7 +557,7 @@ def sweep_many(
         ExperimentCell("sweep", name, (factor, base, turnovers))
         for factor, name in keys
     ])
-    results = run_cells(context, cells, jobs=jobs)
+    results = run_cells(context, cells, jobs=jobs, **run_kwargs)
     by_cell = {
         (cell.params[0], cell.workload): result
         for cell, result in zip(cells, results)
@@ -275,6 +570,7 @@ def predict_many(
     workloads: Iterable[str],
     predictors: Sequence[str],
     jobs: Optional[int] = 1,
+    **run_kwargs,
 ) -> Dict[Tuple[str, str], object]:
     """Predictor confusion matrices keyed by (workload, predictor)."""
     workloads = list(workloads)
@@ -283,5 +579,5 @@ def predict_many(
         ExperimentCell("predict", name, (predictor,))
         for name, predictor in keys
     ]
-    results = run_cells(context, cells, jobs=jobs)
+    results = run_cells(context, cells, jobs=jobs, **run_kwargs)
     return dict(zip(keys, results))

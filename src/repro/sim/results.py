@@ -1,7 +1,7 @@
 """Result records for simulation runs."""
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Tuple
 
 from repro.common.stats import ratio
 
@@ -47,6 +47,17 @@ class LlcSimResult:
         """
         return ratio(baseline.misses - self.misses, baseline.misses)
 
+    def as_dict(self) -> Dict:
+        """JSON-friendly view (telemetry events, golden fixtures)."""
+        return {
+            "policy": self.policy,
+            "stream": self.stream_name,
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "miss_ratio": self.miss_ratio,
+        }
+
 
 @dataclass
 class PolicyComparison:
@@ -62,3 +73,56 @@ class PolicyComparison:
     def policies(self):
         """Policy names present, insertion-ordered."""
         return list(self.results)
+
+    def as_dict(self) -> Dict:
+        """JSON-friendly view (telemetry events, golden fixtures)."""
+        return {
+            "stream": self.stream_name,
+            "results": {name: result.as_dict()
+                        for name, result in self.results.items()},
+        }
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """A cell of the experiment matrix that exhausted its retry budget.
+
+    In graceful (non-fail-fast) runs these stand in for the missing result
+    in the position the real record would have occupied, so callers can
+    tell exactly which (kind, workload, params) cells are absent. They are
+    also what the run manifest's ``failures`` list serialises.
+    """
+
+    kind: str
+    workload: str
+    params: tuple
+    error_type: str
+    error: str
+    attempts: int
+
+    def as_dict(self) -> Dict:
+        """JSON-friendly view for the run manifest."""
+        return {
+            "kind": self.kind,
+            "workload": self.workload,
+            "params": repr(self.params),
+            "error_type": self.error_type,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+
+def is_failure(result) -> bool:
+    """True when a cell result slot holds a :class:`CellFailure`."""
+    return isinstance(result, CellFailure)
+
+
+def split_failures(results: Dict) -> "Tuple[Dict, List[CellFailure]]":
+    """Partition a keyed result mapping into (successes, failures)."""
+    ok, failed = {}, []
+    for key, value in results.items():
+        if is_failure(value):
+            failed.append(value)
+        else:
+            ok[key] = value
+    return ok, failed

@@ -1,0 +1,399 @@
+"""Structured run telemetry for the experiment engine.
+
+Every telemetry-enabled run gets its own directory under the *runs root*
+(``<persistent cache dir>/runs`` by default, so run records live next to
+the stream cache they describe) containing exactly two files:
+
+* ``manifest.json`` — one JSON document describing the run: machine digest
+  and geometry, workload set, seeds, access budget, policy list, library
+  versions, which numpy/fast-path tiers were in effect, wall time, final
+  status, and a per-cell failure record for every experiment cell that was
+  retried out or timed out. Written atomically (temp file + rename) and
+  rewritten as the run progresses, so a crashed run leaves its last
+  consistent manifest behind.
+* ``events.jsonl`` — an append-only event log, one JSON object per line.
+  Stage spans (trace generation, hierarchy recording, replays, oracle
+  passes) record wall time and access/hit/miss counters; cache events
+  record which tier (memory / disk / fresh recording) served an artifact;
+  failure events record retries and worker deaths as they happen. Worker
+  processes append to the same file — each line is written with a single
+  ``write`` of a short buffer, which POSIX keeps atomic in append mode, so
+  concurrent writers interleave lines, never bytes.
+
+The module keeps one process-wide *current* :class:`RunTelemetry`;
+instrumentation points (:mod:`repro.sim.experiment`,
+:mod:`repro.sim.engine`, :mod:`repro.sim.parallel`) call the no-op-safe
+:func:`emit`/:func:`span` helpers so that disabled telemetry costs one
+``None`` check per stage — never per access. Telemetry never changes
+results: it only observes counters the simulators already maintain, and
+``--no-telemetry`` runs are byte-identical on stdout.
+"""
+
+import dataclasses
+import json
+import os
+import platform
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.common.errors import ConfigError
+from repro.common.stats import RunningStats
+
+TELEMETRY_FORMAT_VERSION = 1
+"""Bumped when the manifest/event schema changes incompatibly."""
+
+RUNS_DIRNAME = "runs"
+MANIFEST_NAME = "manifest.json"
+EVENTS_NAME = "events.jsonl"
+
+RUNS_DIR_ENV = "REPRO_SIM_RUNS_DIR"
+"""Environment variable overriding the default runs root."""
+
+
+def default_runs_root() -> Path:
+    """The run-record directory: next to the persistent stream cache."""
+    env = os.environ.get(RUNS_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    from repro.sim.experiment import default_cache_dir
+
+    return default_cache_dir() / RUNS_DIRNAME
+
+
+def resolve_runs_root(
+    root: Optional[Union[str, Path]] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> Path:
+    """Map a user-facing runs-root spec to a concrete directory.
+
+    Explicit ``root`` wins; otherwise a resolved ``cache_dir`` hosts a
+    ``runs/`` subdirectory; otherwise the machine-wide default applies.
+    """
+    if root is not None:
+        return Path(root).expanduser()
+    if cache_dir is not None:
+        return Path(cache_dir).expanduser() / RUNS_DIRNAME
+    return default_runs_root()
+
+
+class RunTelemetry:
+    """Writes one run's manifest and event log.
+
+    The parent process creates one via :func:`create_run` (``role="main"``);
+    worker processes attach to the same directory via :func:`attach_worker`
+    and only append events — the manifest belongs to the parent.
+    """
+
+    def __init__(self, run_dir: Union[str, Path], role: str = "main"):
+        self.run_dir = Path(run_dir)
+        self.run_id = self.run_dir.name
+        self.role = role
+        self.events_path = self.run_dir / EVENTS_NAME
+        self.manifest_path = self.run_dir / MANIFEST_NAME
+        self._manifest: Dict = {}
+        self._started = time.time()
+
+    # ------------------------------------------------------------------
+    # Event log
+    # ------------------------------------------------------------------
+
+    def event(self, kind: str, /, **fields) -> None:
+        """Append one event line (best effort: a full disk or a deleted
+        run directory must never fail the experiment itself)."""
+        record = {"t": round(time.time(), 6), "pid": os.getpid(),
+                  "role": self.role, "kind": kind}
+        record.update(fields)
+        line = json.dumps(record, sort_keys=False) + "\n"
+        try:
+            with open(self.events_path, "a", encoding="utf-8") as handle:
+                handle.write(line)
+        except OSError:
+            pass
+
+    @contextmanager
+    def span(self, stage: str, /, **fields) -> Iterator[Dict]:
+        """Time a stage and emit one ``span`` event when it exits.
+
+        Yields a mutable dict; anything the caller adds to it (access
+        counts, cache tiers, hit/miss counters) lands in the event. A
+        stage that raises is still recorded, with ``error`` set.
+        """
+        extras: Dict = {}
+        start = time.perf_counter()
+        try:
+            yield extras
+        except BaseException as error:
+            extras.setdefault("error", type(error).__name__)
+            raise
+        finally:
+            wall = time.perf_counter() - start
+            self.event("span", stage=stage, wall_sec=round(wall, 6),
+                       **fields, **extras)
+
+    # ------------------------------------------------------------------
+    # Manifest (parent only)
+    # ------------------------------------------------------------------
+
+    def update_manifest(self, **fields) -> None:
+        """Merge ``fields`` into the manifest and rewrite it atomically."""
+        if self.role != "main":
+            return
+        self._manifest.update(fields)
+        payload = json.dumps(self._manifest, indent=2, sort_keys=False,
+                             default=str)
+        tmp = self.manifest_path.with_name(
+            f"tmp{os.getpid()}-{MANIFEST_NAME}"
+        )
+        try:
+            tmp.write_text(payload + "\n", encoding="utf-8")
+            os.replace(tmp, self.manifest_path)
+        except OSError:
+            pass
+
+    @property
+    def manifest(self) -> Dict:
+        """The manifest as last written by this process."""
+        return dict(self._manifest)
+
+    def finish(self, status: str = "completed", **fields) -> None:
+        """Seal the manifest with the final status and total wall time."""
+        self.update_manifest(
+            status=status, wall_sec=round(time.time() - self._started, 6),
+            finished=_isoformat(time.time()), **fields,
+        )
+        self.event("run_finished", status=status)
+
+
+# ----------------------------------------------------------------------
+# Process-wide current run
+# ----------------------------------------------------------------------
+
+_CURRENT: Optional[RunTelemetry] = None
+
+
+def current() -> Optional[RunTelemetry]:
+    """The active run recorder of this process, or None."""
+    return _CURRENT
+
+
+def set_current(telemetry: Optional[RunTelemetry]) -> None:
+    """Install (or clear, with None) the process-wide recorder."""
+    global _CURRENT
+    _CURRENT = telemetry
+
+
+@contextmanager
+def activate(telemetry: Optional[RunTelemetry]) -> Iterator[Optional[RunTelemetry]]:
+    """Scope ``telemetry`` as the process-wide recorder."""
+    previous = current()
+    set_current(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_current(previous)
+
+
+def emit(kind: str, /, **fields) -> None:
+    """Append an event to the active run, if any (no-op otherwise)."""
+    telemetry = _CURRENT
+    if telemetry is not None:
+        telemetry.event(kind, **fields)
+
+
+@contextmanager
+def span(stage: str, /, **fields) -> Iterator[Dict]:
+    """Span on the active run; yields a throwaway dict when disabled.
+
+    The disabled path is one global read and one dict allocation per
+    *stage* — instrumentation points sit outside per-access loops, so
+    telemetry overhead is bounded by stage count, not access count.
+    """
+    telemetry = _CURRENT
+    if telemetry is None:
+        yield {}
+        return
+    with telemetry.span(stage, **fields) as extras:
+        yield extras
+
+
+# ----------------------------------------------------------------------
+# Run creation / attachment
+# ----------------------------------------------------------------------
+
+def create_run(
+    root: Optional[Union[str, Path]] = None,
+    command: str = "",
+    argv: Optional[List[str]] = None,
+) -> RunTelemetry:
+    """Allocate a fresh run directory and write the seed manifest.
+
+    Directory allocation is race-safe under concurrent creators: the
+    candidate id embeds the pid and the creating ``mkdir`` is exclusive,
+    so two processes (or two threads' retries) can never share a run dir.
+    The runs root itself is created with ``exist_ok=True`` — parallel
+    workers racing to create it is the expected case, not an error.
+    """
+    root = resolve_runs_root(root)
+    root.mkdir(parents=True, exist_ok=True)
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    attempt = 0
+    while True:
+        suffix = "" if attempt == 0 else f"-{attempt}"
+        run_dir = root / f"{stamp}-p{os.getpid()}{suffix}"
+        try:
+            run_dir.mkdir(parents=False, exist_ok=False)
+            break
+        except FileExistsError:
+            attempt += 1
+    telemetry = RunTelemetry(run_dir, role="main")
+    telemetry.update_manifest(
+        format_version=TELEMETRY_FORMAT_VERSION,
+        run_id=telemetry.run_id,
+        command=command,
+        argv=list(argv) if argv is not None else None,
+        started=_isoformat(telemetry._started),
+        host=platform.node(),
+        platform=platform.platform(),
+        python_version=platform.python_version(),
+        status="running",
+    )
+    telemetry.event("run_started", command=command)
+    return telemetry
+
+
+def attach_worker(run_dir: Union[str, Path]) -> RunTelemetry:
+    """A worker-process view of an existing run (events only)."""
+    return RunTelemetry(run_dir, role="worker")
+
+
+def describe_environment(context=None) -> Dict:
+    """Library-version and tier fields for the manifest.
+
+    ``context`` (an :class:`~repro.sim.experiment.ExperimentContext`)
+    contributes machine digest, workloads, seed, budget, and the resolved
+    fast-path gate.
+    """
+    import repro
+    from repro.common.npsupport import HAVE_NUMPY, numpy
+    from repro.sim.fastpath import fastpath_enabled
+
+    fields: Dict = {
+        "repro_version": repro.__version__,
+        "numpy_available": HAVE_NUMPY,
+        "numpy_version": getattr(numpy, "__version__", None) if HAVE_NUMPY else None,
+    }
+    if context is not None:
+        from repro.sim.experiment import machine_digest
+
+        fields.update(
+            machine=context.machine.name,
+            machine_digest=machine_digest(context.machine),
+            llc=context.geometry.describe(),
+            num_cores=context.machine.num_cores,
+            workloads=list(context.workload_list),
+            seed=context.seed,
+            target_accesses=context.target_accesses,
+            cache_dir=str(context.cache_dir) if context.cache_dir else None,
+            fastpath=fastpath_enabled(context.fastpath),
+        )
+    return fields
+
+
+# ----------------------------------------------------------------------
+# Inspection (backs ``repro-sim runs list/show``)
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class RunInfo:
+    """One run directory's manifest, as found on disk."""
+
+    run_id: str
+    path: Path
+    manifest: Dict
+
+    @property
+    def status(self) -> str:
+        return self.manifest.get("status", "unknown")
+
+
+def list_runs(root: Optional[Union[str, Path]] = None) -> List[RunInfo]:
+    """Every readable run under ``root``, oldest first.
+
+    Unreadable or half-written manifests yield a ``status="corrupt"``
+    placeholder instead of raising — listing must survive crashed runs.
+    """
+    root = resolve_runs_root(root)
+    if not root.is_dir():
+        return []
+    runs = []
+    for run_dir in sorted(path for path in root.iterdir() if path.is_dir()):
+        manifest_path = run_dir / MANIFEST_NAME
+        if not manifest_path.exists():
+            continue
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            manifest = {"status": "corrupt"}
+        runs.append(RunInfo(run_id=run_dir.name, path=run_dir, manifest=manifest))
+    return runs
+
+
+def load_run(
+    run_id: str, root: Optional[Union[str, Path]] = None
+) -> RunInfo:
+    """The manifest of one run; unique prefixes of the id are accepted."""
+    runs = list_runs(root)
+    matches = [run for run in runs if run.run_id == run_id]
+    if not matches:
+        matches = [run for run in runs if run.run_id.startswith(run_id)]
+    if not matches:
+        raise ConfigError(
+            f"no run {run_id!r} under {resolve_runs_root(root)}"
+        )
+    if len(matches) > 1:
+        raise ConfigError(
+            f"run id {run_id!r} is ambiguous: "
+            f"{[run.run_id for run in matches]}"
+        )
+    return matches[0]
+
+
+def read_events(run_dir: Union[str, Path]) -> List[Dict]:
+    """Parse a run's event log, skipping torn or malformed lines.
+
+    A line a killed worker never finished is data loss already — dropping
+    it beats refusing to show the rest of the run.
+    """
+    path = Path(run_dir) / EVENTS_NAME
+    if not path.exists():
+        return []
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError:
+                continue
+    return events
+
+
+def summarize_spans(events: List[Dict]) -> Dict[str, RunningStats]:
+    """Aggregate span wall times per stage (for ``runs show``)."""
+    stages: Dict[str, RunningStats] = {}
+    for event in events:
+        if event.get("kind") != "span":
+            continue
+        stage = event.get("stage", "?")
+        stages.setdefault(stage, RunningStats()).add(
+            float(event.get("wall_sec", 0.0))
+        )
+    return stages
+
+
+def _isoformat(timestamp: float) -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(timestamp))

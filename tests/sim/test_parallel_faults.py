@@ -1,0 +1,199 @@
+"""Fault tolerance of the parallel experiment engine.
+
+Strict mode (``fail_fast=True``) must behave exactly like the engine
+always did: first error aborts. Graceful mode must (a) retry failing
+cells, (b) survive worker-process *death* — which breaks the whole
+process pool — by rebuilding the pool, (c) enforce per-cell deadlines,
+and (d) complete with :class:`CellFailure` placeholders instead of
+aborting, with every non-failed cell still bit-identical to a serial run.
+
+Failures are provoked through the ``REPRO_SIM_FAULT_INJECT`` hook, the
+same hook the acceptance criterion's forced-crash sweep uses.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.sim.experiment import ExperimentContext
+from repro.sim.parallel import (
+    FAULT_ENV,
+    FAULT_STATE_ENV,
+    CellTimeoutError,
+    ExperimentCell,
+    compare_many,
+    oracle_many,
+    run_cells,
+    sweep_many,
+)
+from repro.sim.results import CellFailure, is_failure, split_failures
+
+WORKLOADS = ["swaptions", "water", "fft"]
+
+
+def fresh_context(machine):
+    return ExperimentContext(
+        machine, target_accesses=3_000, seed=11, workloads=WORKLOADS
+    )
+
+
+@pytest.fixture
+def context(tiny_machine):
+    return fresh_context(tiny_machine)
+
+
+class TestValidation:
+    def test_bad_timeout_rejected(self, context):
+        with pytest.raises(ConfigError):
+            run_cells(context, [], timeout=0)
+        with pytest.raises(ConfigError):
+            run_cells(context, [], timeout=-1.0)
+
+    def test_bad_retries_rejected(self, context):
+        with pytest.raises(ConfigError):
+            run_cells(context, [], retries=-1)
+
+    def test_bad_fault_specs_rejected(self, context, monkeypatch):
+        cell = ExperimentCell("compare", "water", ((("lru",), False)))
+        monkeypatch.setenv(FAULT_ENV, "not-a-spec")
+        with pytest.raises(ConfigError):
+            run_cells(context, [cell])
+        monkeypatch.setenv(FAULT_ENV, "compare:water:frobnicate")
+        with pytest.raises(ConfigError):
+            run_cells(context, [cell])
+
+    def test_nonpositive_target_accesses_rejected(self, tiny_machine):
+        with pytest.raises(ConfigError):
+            ExperimentContext(tiny_machine, target_accesses=0)
+        with pytest.raises(ConfigError):
+            ExperimentContext(tiny_machine, target_accesses=-5)
+        with pytest.raises(ConfigError):
+            ExperimentContext(tiny_machine, seed=-1)
+
+
+class TestSerialGraceful:
+    def test_fail_fast_raises_exactly_like_before(self, context, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV, "oracle:water:raise")
+        with pytest.raises(SimulationError):
+            oracle_many(context, WORKLOADS, jobs=1)  # default fail_fast
+
+    def test_failed_cell_becomes_placeholder(self, context, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV, "oracle:water:raise")
+        studies = oracle_many(
+            context, WORKLOADS, jobs=1,
+            fail_fast=False, retries=0, backoff=0.0,
+        )
+        assert is_failure(studies["water"])
+        failure = studies["water"]
+        assert failure.kind == "oracle"
+        assert failure.workload == "water"
+        assert failure.error_type == "SimulationError"
+        assert failure.attempts == 1
+        ok, failed = split_failures(studies)
+        assert set(ok) == {"swaptions", "fft"}
+        assert [f.workload for f in failed] == ["water"]
+
+    def test_retry_budget_counts_attempts(self, context, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV, "oracle:water:raise")
+        studies = oracle_many(
+            context, WORKLOADS, jobs=1,
+            fail_fast=False, retries=2, backoff=0.0,
+        )
+        assert studies["water"].attempts == 3  # initial + 2 retries
+
+    def test_flaky_cell_recovers_on_retry(self, context, tmp_path, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV, "oracle:water:flaky")
+        monkeypatch.setenv(FAULT_STATE_ENV, str(tmp_path))
+        studies = oracle_many(
+            context, WORKLOADS, jobs=1,
+            fail_fast=False, retries=1, backoff=0.0,
+        )
+        assert not any(is_failure(study) for study in studies.values())
+        # Without a retry budget the same flake is terminal.
+        assert (tmp_path / "fired-oracle-water").exists()
+
+    def test_flaky_without_state_dir_rejected(self, context, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV, "oracle:water:flaky")
+        monkeypatch.delenv(FAULT_STATE_ENV, raising=False)
+        studies = oracle_many(
+            context, WORKLOADS[:2], jobs=1,
+            fail_fast=False, retries=0, backoff=0.0,
+        )
+        assert studies["water"].error_type == "ConfigError"
+
+    def test_partial_results_match_serial_bits(self, tiny_machine, monkeypatch):
+        clean = compare_many(
+            fresh_context(tiny_machine), WORKLOADS, ["lru", "srrip"], jobs=1
+        )
+        monkeypatch.setenv(FAULT_ENV, "compare:fft:raise")
+        partial = compare_many(
+            fresh_context(tiny_machine), WORKLOADS, ["lru", "srrip"],
+            jobs=1, fail_fast=False, retries=0, backoff=0.0,
+        )
+        assert is_failure(partial["fft"])
+        for name in ("swaptions", "water"):
+            assert partial[name] == clean[name]
+
+
+class TestParallelGraceful:
+    def test_worker_crash_yields_partial_results(self, tiny_machine, monkeypatch):
+        """The acceptance scenario: one cell's worker dies via os._exit
+        (breaking the ProcessPoolExecutor); the sweep still completes and
+        only that cell is marked failed."""
+        clean = compare_many(
+            fresh_context(tiny_machine), WORKLOADS, ["lru"], jobs=1
+        )
+        monkeypatch.setenv(FAULT_ENV, "compare:water:exit")
+        results = compare_many(
+            fresh_context(tiny_machine), WORKLOADS, ["lru"],
+            jobs=2, fail_fast=False, retries=3, backoff=0.01,
+        )
+        assert len(results) == len(WORKLOADS)
+        assert is_failure(results["water"])
+        assert results["water"].error_type == "SimulationError"
+        # Collateral pool-mates may be charged attempts, but with a
+        # 3-retry budget at least the crash-free cells must land, and
+        # everything that landed must be bit-identical to the serial run.
+        survivors = {name: result for name, result in results.items()
+                     if not is_failure(result)}
+        assert survivors  # the sweep was not wiped out by one bad cell
+        for name, result in survivors.items():
+            assert result == clean[name]
+
+    def test_worker_crash_fail_fast_aborts(self, tiny_machine, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV, "compare:water:exit")
+        with pytest.raises(SimulationError, match="worker process died"):
+            compare_many(
+                fresh_context(tiny_machine), WORKLOADS, ["lru"],
+                jobs=2, fail_fast=True,
+            )
+
+    def test_raise_in_worker_is_retried_not_fatal(self, tiny_machine, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV, "sweep:fft:raise")
+        studies = sweep_many(
+            fresh_context(tiny_machine), WORKLOADS, (0.5, 1.0),
+            jobs=2, fail_fast=False, retries=0, backoff=0.0,
+        )
+        assert len(studies) == 2 * len(WORKLOADS)
+        for (factor, name), study in studies.items():
+            assert is_failure(study) == (name == "fft")
+
+    def test_cell_timeout_marks_failure(self, tiny_machine, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV, "compare:water:hang")
+        results = compare_many(
+            fresh_context(tiny_machine), WORKLOADS, ["lru"],
+            jobs=2, fail_fast=False, retries=0, timeout=2.0, backoff=0.0,
+        )
+        assert is_failure(results["water"])
+        assert results["water"].error_type == "CellTimeoutError"
+        assert "deadline" in results["water"].error
+        assert not is_failure(results["swaptions"])
+        assert not is_failure(results["fft"])
+
+    def test_failure_placeholder_serialisable(self):
+        failure = CellFailure("compare", "water", (1, 2), "ValueError",
+                              "boom", 2)
+        view = failure.as_dict()
+        assert view["kind"] == "compare"
+        assert view["attempts"] == 2
+        assert CellTimeoutError.__mro__  # exported, SimulationError subclass
+        assert issubclass(CellTimeoutError, SimulationError)

@@ -1,0 +1,297 @@
+"""Run-telemetry layer: manifests, event logs, inspection, CLI wiring.
+
+The last test class is the issue's acceptance scenario: a sweep whose
+worker is forced to crash mid-run must still complete with partial
+results, record the failed cell in the run manifest, and exit nonzero
+only under ``--fail-fast``; ``--no-telemetry`` must leave stdout
+byte-identical and write nothing.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.common.errors import ConfigError
+from repro.sim import telemetry
+from repro.sim.experiment import ExperimentContext
+from repro.sim.parallel import FAULT_ENV
+
+
+@pytest.fixture
+def run(tmp_path):
+    return telemetry.create_run(tmp_path, command="test", argv=["--x"])
+
+
+class TestRunLifecycle:
+    def test_create_run_writes_seed_manifest(self, tmp_path, run):
+        assert run.run_dir.parent == tmp_path
+        manifest = json.loads(
+            (run.run_dir / telemetry.MANIFEST_NAME).read_text()
+        )
+        assert manifest["format_version"] == telemetry.TELEMETRY_FORMAT_VERSION
+        assert manifest["run_id"] == run.run_id
+        assert manifest["command"] == "test"
+        assert manifest["argv"] == ["--x"]
+        assert manifest["status"] == "running"
+        events = telemetry.read_events(run.run_dir)
+        assert events[0]["kind"] == "run_started"
+        assert events[0]["role"] == "main"
+
+    def test_same_second_runs_get_distinct_dirs(self, tmp_path):
+        first = telemetry.create_run(tmp_path)
+        second = telemetry.create_run(tmp_path)
+        assert first.run_dir != second.run_dir
+        assert first.run_dir.is_dir() and second.run_dir.is_dir()
+
+    def test_update_manifest_merges_and_leaves_no_tmp(self, run):
+        run.update_manifest(machine="tiny")
+        run.update_manifest(seed=7)
+        manifest = json.loads(run.manifest_path.read_text())
+        assert manifest["machine"] == "tiny"
+        assert manifest["seed"] == 7
+        leftovers = [p for p in run.run_dir.iterdir()
+                     if p.name.startswith("tmp")]
+        assert leftovers == []
+
+    def test_finish_seals_status_and_wall_time(self, run):
+        run.finish(status="completed")
+        manifest = json.loads(run.manifest_path.read_text())
+        assert manifest["status"] == "completed"
+        assert manifest["wall_sec"] >= 0
+        assert manifest["finished"].endswith("Z")
+        assert telemetry.read_events(run.run_dir)[-1]["kind"] == "run_finished"
+
+    def test_worker_cannot_touch_manifest_but_shares_events(self, run):
+        worker = telemetry.attach_worker(run.run_dir)
+        worker.update_manifest(hijacked=True)
+        assert "hijacked" not in json.loads(run.manifest_path.read_text())
+        worker.event("span", stage="replay", wall_sec=0.5)
+        roles = {e["role"] for e in telemetry.read_events(run.run_dir)}
+        assert roles == {"main", "worker"}
+
+    def test_event_survives_deleted_run_dir(self, run, tmp_path):
+        import shutil
+
+        shutil.rmtree(run.run_dir)
+        run.event("orphan")  # must not raise
+        run.update_manifest(orphan=True)  # must not raise
+
+
+class TestSpansAndCurrent:
+    def test_span_records_wall_time_and_extras(self, run):
+        with run.span("trace_gen", workload="water") as extras:
+            extras["accesses"] = 123
+        event = telemetry.read_events(run.run_dir)[-1]
+        assert event["kind"] == "span"
+        assert event["stage"] == "trace_gen"
+        assert event["workload"] == "water"
+        assert event["accesses"] == 123
+        assert event["wall_sec"] >= 0
+
+    def test_span_on_error_records_and_reraises(self, run):
+        with pytest.raises(ValueError):
+            with run.span("replay"):
+                raise ValueError("boom")
+        event = telemetry.read_events(run.run_dir)[-1]
+        assert event["stage"] == "replay"
+        assert event["error"] == "ValueError"
+
+    def test_module_helpers_are_noops_when_disabled(self):
+        assert telemetry.current() is None
+        telemetry.emit("ignored", x=1)  # must not raise
+        with telemetry.span("ignored") as extras:
+            extras["y"] = 2  # throwaway dict
+
+    def test_activate_scopes_the_current_run(self, run):
+        assert telemetry.current() is None
+        with telemetry.activate(run):
+            assert telemetry.current() is run
+            telemetry.emit("scoped", ok=True)
+        assert telemetry.current() is None
+        kinds = [e["kind"] for e in telemetry.read_events(run.run_dir)]
+        assert "scoped" in kinds
+
+    def test_describe_environment_reports_context(self, tiny_machine):
+        context = ExperimentContext(
+            tiny_machine, target_accesses=2000, seed=3,
+            workloads=["water"],
+        )
+        fields = telemetry.describe_environment(context)
+        assert fields["machine"] == "tiny"
+        assert fields["seed"] == 3
+        assert fields["target_accesses"] == 2000
+        assert fields["workloads"] == ["water"]
+        assert isinstance(fields["fastpath"], bool)
+        assert "repro_version" in fields
+        assert "numpy_available" in fields
+
+
+class TestInspection:
+    def test_list_runs_oldest_first_and_corrupt_tolerated(self, tmp_path):
+        first = telemetry.create_run(tmp_path, command="a")
+        second = telemetry.create_run(tmp_path, command="b")
+        (second.run_dir / telemetry.MANIFEST_NAME).write_text("{not json")
+        (tmp_path / "not-a-run").mkdir()  # no manifest: skipped
+        runs = telemetry.list_runs(tmp_path)
+        assert [r.run_id for r in runs] == [first.run_id, second.run_id]
+        assert runs[0].manifest["command"] == "a"
+        assert runs[1].status == "corrupt"
+
+    def test_list_runs_missing_root_is_empty(self, tmp_path):
+        assert telemetry.list_runs(tmp_path / "nowhere") == []
+
+    def test_load_run_accepts_unique_prefix(self, tmp_path, run):
+        info = telemetry.load_run(run.run_id, tmp_path)
+        assert info.run_id == run.run_id
+        info = telemetry.load_run(run.run_id[:-2], tmp_path)
+        assert info.run_id == run.run_id
+        with pytest.raises(ConfigError):
+            telemetry.load_run("zzz-no-such-run", tmp_path)
+
+    def test_load_run_ambiguous_prefix_rejected(self, tmp_path):
+        telemetry.create_run(tmp_path)
+        telemetry.create_run(tmp_path)
+        with pytest.raises(ConfigError):
+            telemetry.load_run("2", tmp_path)  # both ids share the prefix
+
+    def test_read_events_skips_torn_lines(self, run):
+        run.event("good", n=1)
+        with open(run.events_path, "a") as handle:
+            handle.write('{"kind": "torn", "n\n')  # killed mid-write
+        run.event("after", n=2)
+        kinds = [e["kind"] for e in telemetry.read_events(run.run_dir)]
+        assert "torn" not in kinds
+        assert kinds[-2:] == ["good", "after"]
+
+    def test_summarize_spans_aggregates_per_stage(self):
+        events = [
+            {"kind": "span", "stage": "replay", "wall_sec": 1.0},
+            {"kind": "span", "stage": "replay", "wall_sec": 3.0},
+            {"kind": "span", "stage": "trace_gen", "wall_sec": 0.5},
+            {"kind": "cell_retry"},
+        ]
+        stages = telemetry.summarize_spans(events)
+        assert stages["replay"].as_dict() == {
+            "count": 2, "total": 4.0, "mean": 2.0, "min": 1.0, "max": 3.0,
+        }
+        assert stages["trace_gen"].count == 1
+
+    def test_resolve_runs_root_precedence(self, tmp_path, monkeypatch):
+        explicit = telemetry.resolve_runs_root(
+            tmp_path / "explicit", cache_dir=tmp_path / "cache"
+        )
+        assert explicit == tmp_path / "explicit"
+        from_cache = telemetry.resolve_runs_root(cache_dir=tmp_path / "cache")
+        assert from_cache == tmp_path / "cache" / telemetry.RUNS_DIRNAME
+        monkeypatch.setenv(telemetry.RUNS_DIR_ENV, str(tmp_path / "env"))
+        assert telemetry.resolve_runs_root() == tmp_path / "env"
+
+
+FAST = ["--accesses", "3000", "--workloads", "swaptions", "water"]
+
+
+def runs_under(cache_dir):
+    """Runs recorded beneath a CLI ``--cache-dir``."""
+    return telemetry.list_runs(telemetry.resolve_runs_root(cache_dir=cache_dir))
+
+
+class TestCliTelemetry:
+    def test_compare_records_a_run(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["compare", *FAST, "--policies", "lru",
+                     "--cache-dir", cache]) == 0
+        err = capsys.readouterr().err
+        assert "telemetry: run" in err
+        runs = runs_under(cache)
+        assert len(runs) == 1
+        manifest = runs[0].manifest
+        assert manifest["status"] == "completed"
+        assert manifest["command"] == "compare"
+        assert manifest["workloads"] == ["swaptions", "water"]
+        assert manifest["cells"] == {"total": 2, "completed": 2, "failed": 0}
+        stages = telemetry.summarize_spans(telemetry.read_events(runs[0].path))
+        assert "replay" in stages
+        assert "trace_gen" in stages
+        assert "hierarchy_record" in stages
+
+    def test_runs_list_and_show(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["compare", *FAST, "--policies", "lru",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["runs", "list", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry runs" in out
+        assert "compare" in out
+        run_id = runs_under(cache)[0].run_id
+        assert main(["runs", "show", run_id[:10], "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "manifest" in out
+        assert "Stage spans" in out
+        assert "replay" in out
+
+    def test_runs_show_without_id_is_an_error(self, capsys):
+        assert main(["runs", "show"]) == 2
+        assert "needs a run id" in capsys.readouterr().err
+
+    def test_no_telemetry_is_byte_identical_and_writes_nothing(
+        self, capsys, tmp_path
+    ):
+        with_cache = str(tmp_path / "with")
+        without_cache = str(tmp_path / "without")
+        args = ["compare", *FAST, "--policies", "lru", "srrip"]
+        assert main([*args, "--cache-dir", with_cache]) == 0
+        with_telemetry = capsys.readouterr().out
+        assert main([*args, "--no-telemetry",
+                     "--cache-dir", without_cache]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == with_telemetry
+        assert "telemetry" not in captured.err
+        assert runs_under(without_cache) == []
+        assert not (tmp_path / "without" / telemetry.RUNS_DIRNAME).exists()
+
+    def test_failed_run_is_sealed_as_failed(self, capsys, tmp_path,
+                                            monkeypatch):
+        cache = str(tmp_path / "cache")
+        monkeypatch.setenv(FAULT_ENV, "compare:water:raise")
+        assert main(["compare", *FAST, "--policies", "lru",
+                     "--cache-dir", cache, "--fail-fast",
+                     "--retries", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+        runs = runs_under(cache)
+        assert runs[0].status == "failed"
+        assert "injected fault" in runs[0].manifest["error"]
+
+
+class TestCrashAcceptance:
+    """A sweep with one worker forced to crash completes with partial
+    results, records the failure in the manifest, and exits nonzero only
+    under ``--fail-fast``."""
+
+    def test_graceful_sweep_survives_worker_crash(self, capsys, tmp_path,
+                                                  monkeypatch):
+        cache = str(tmp_path / "cache")
+        monkeypatch.setenv(FAULT_ENV, "sweep:water:exit")
+        assert main(["sweep", *FAST, "--jobs", "2", "--retries", "1",
+                     "--cache-dir", cache]) == 0
+        captured = capsys.readouterr()
+        assert "avg_oracle_red" in captured.out  # partial table rendered
+        assert "warning: cell (sweep, water)" in captured.err
+        runs = runs_under(cache)
+        manifest = runs[0].manifest
+        assert manifest["status"] == "completed_with_failures"
+        assert manifest["cells"]["failed"] >= 1
+        assert manifest["cells"]["completed"] >= 1
+        failed = {f["workload"] for f in manifest["failures"]}
+        assert "water" in failed
+
+    def test_fail_fast_sweep_exits_nonzero(self, capsys, tmp_path,
+                                           monkeypatch):
+        cache = str(tmp_path / "cache")
+        monkeypatch.setenv(FAULT_ENV, "sweep:water:exit")
+        assert main(["sweep", *FAST, "--jobs", "2", "--fail-fast",
+                     "--cache-dir", cache]) == 2
+        assert "worker process died" in capsys.readouterr().err
+        runs = runs_under(cache)
+        assert runs[0].status == "failed"

@@ -112,10 +112,12 @@ class TestParallelAndCacheCli:
         assert " 0 |" in capsys.readouterr().out
 
     def test_negative_jobs_clean_error(self, capsys):
-        assert main(["compare", *FAST, "--policies", "lru",
-                     "--jobs", "-1"]) == 2
+        # Rejected by argparse at parse time, before any worker spawns.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["compare", *FAST, "--policies", "lru", "--jobs", "-1"])
+        assert excinfo.value.code == 2
         err = capsys.readouterr().err
-        assert "jobs must be >= 0" in err
+        assert "must be >= 0" in err
         assert "Traceback" not in err
 
     def test_no_cache_flag_skips_disk(self, capsys, tmp_path):

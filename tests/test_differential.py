@@ -1,0 +1,128 @@
+"""Differential matrix: every accelerated path against its reference.
+
+Two axes, each promising *bit-identical* results:
+
+* fast path vs scalar — the LRU stack-distance replay against the scalar
+  ``LlcOnlySimulator`` model, checked for **every registered policy**: the
+  eligible one (``lru``) must match exactly; every other policy must be
+  *rejected* by the eligibility gate (taking the fast path for a policy it
+  does not model would be the bug), which the matrix records as an
+  explicit skip with the reason.
+* numpy vs pure Python — every dual-implementation kernel
+  (:func:`compute_next_use`, :func:`reconstruct_lru_replay`,
+  :func:`replay_lru_fastpath`, :func:`build_stream_annotation`) with the
+  backend forced each way.
+
+Streams come from real workload models (not synthetic toys), so the
+comparison covers sharing, writes, and multi-core interleavings.
+"""
+
+import pytest
+
+from repro.common.npsupport import HAVE_NUMPY
+from repro.oracle.annotate import build_stream_annotation
+from repro.policies.opt import compute_next_use
+from repro.policies.registry import POLICY_NAMES
+from repro.sim.experiment import ExperimentContext
+from repro.sim.fastpath import (
+    fastpath_eligible,
+    reconstruct_lru_replay,
+    replay_lru_fastpath,
+)
+from repro.sim.multipass import run_policy_on_stream
+
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="numpy unavailable: only the pure-Python "
+    "backend exists, nothing to differentiate"
+)
+
+
+@pytest.fixture(scope="module")
+def stream(request):
+    """One real recorded LLC stream (dedup: shared hash tables, writes)."""
+    from repro.common.config import CacheGeometry, MachineConfig
+
+    machine = MachineConfig(
+        name="diff", num_cores=4,
+        l1=CacheGeometry(512, 4), l2=CacheGeometry(1024, 4),
+        llc=CacheGeometry(8192, 8), scale=1024,
+    )
+    context = ExperimentContext(
+        machine, target_accesses=12_000, seed=9, workloads=["dedup"],
+    )
+    return context.artifacts("dedup").stream
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    from repro.common.config import CacheGeometry
+
+    return CacheGeometry(8192, 8, 64)  # 16 sets x 8 ways
+
+
+class TestFastpathVsScalar:
+    @pytest.mark.parametrize("policy", sorted(POLICY_NAMES))
+    def test_policy_fastpath_matches_scalar(self, stream, geometry, policy):
+        if not fastpath_eligible(policy):
+            pytest.skip(
+                f"policy {policy!r} is not fast-path eligible by design: "
+                "the stack-distance walk models exact LRU only, so this "
+                "policy always replays through the scalar model"
+            )
+        fast = run_policy_on_stream(
+            stream, geometry, policy, seed=0, fastpath=True
+        )
+        scalar = run_policy_on_stream(
+            stream, geometry, policy, seed=0, fastpath=False
+        )
+        # LlcSimResult equality covers accesses/hits/misses/evictions and
+        # excludes wall-clock fields.
+        assert fast == scalar
+
+    def test_eligibility_gate_is_exactly_lru_by_name(self):
+        assert fastpath_eligible("lru")
+        for policy in sorted(POLICY_NAMES):
+            if policy != "lru":
+                assert not fastpath_eligible(policy)
+        # Instances may carry pre-seeded state: never eligible.
+        from repro.policies.registry import make_policy
+
+        assert not fastpath_eligible(make_policy("lru"))
+
+    def test_fastpath_replay_matches_scalar_directly(self, stream, geometry):
+        fast = replay_lru_fastpath(stream, geometry)
+        scalar = run_policy_on_stream(
+            stream, geometry, "lru", seed=0, fastpath=False
+        )
+        assert fast == scalar
+
+
+@needs_numpy
+class TestNumpyVsPython:
+    def test_compute_next_use(self, stream):
+        vectorized = compute_next_use(stream.blocks, use_numpy=True)
+        scalar = compute_next_use(stream.blocks, use_numpy=False)
+        assert list(vectorized) == list(scalar)
+
+    def test_replay_lru_fastpath(self, stream, geometry):
+        vectorized = replay_lru_fastpath(stream, geometry, use_numpy=True)
+        scalar = replay_lru_fastpath(stream, geometry, use_numpy=False)
+        assert vectorized == scalar
+
+    def test_reconstruct_lru_replay(self, stream, geometry):
+        vectorized = reconstruct_lru_replay(stream, geometry, use_numpy=True)
+        scalar = reconstruct_lru_replay(stream, geometry, use_numpy=False)
+        assert vectorized.hits == scalar.hits
+        assert vectorized.misses == scalar.misses
+        assert vectorized.evictions == scalar.evictions
+        for column in ("distances", "rids", "res_block", "res_fill",
+                       "res_end", "res_way", "res_hits", "res_other_hits",
+                       "res_core_mask", "res_write_mask", "evicted_rid",
+                       "live_rids"):
+            assert list(getattr(vectorized, column)) == \
+                list(getattr(scalar, column)), column
+
+    def test_build_stream_annotation(self, stream, geometry):
+        vectorized = build_stream_annotation(stream, geometry, use_numpy=True)
+        scalar = build_stream_annotation(stream, geometry, use_numpy=False)
+        assert list(vectorized) == list(scalar)

@@ -1,0 +1,128 @@
+"""Golden regression: the headline policy-comparison table, pinned.
+
+A committed JSON snapshot (``tests/data/golden_compare.json``) of the
+LRU/DIP/SRRIP/DRRIP/SHiP/OPT miss ratios on the default scaled-4mb
+geometry. The simulators are deterministic, so these numbers must not
+drift by accident: any legitimate change to eviction order, seeding, or
+workload models shifts them, and this test forces that shift to be
+noticed, reviewed, and re-pinned.
+
+The check is tolerance-based (``TOLERANCE`` absolute on miss ratios, and
+exact on access counts) so an intentional re-pin can tell a real
+behavioural change from floating-point noise in the stored ratios.
+
+Regenerate after an intended change with::
+
+    PYTHONPATH=src:. python -m tests.test_golden_regression
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_compare.json"
+
+# The pinned scenario: small enough to run in seconds, real enough to
+# exercise shared/private hits, writebacks, and every policy's duel logic.
+PROFILE = "scaled-4mb"
+WORKLOADS = ("dedup", "swaptions", "water", "fft")
+POLICIES = ("lru", "dip", "srrip", "drrip", "ship")
+TARGET_ACCESSES = 12_000
+SEED = 42
+
+TOLERANCE = 0.002
+"""Absolute miss-ratio drift allowed before the test fails."""
+
+
+def compute_table():
+    """The comparison table the fixture pins, computed fresh."""
+    from repro.common.config import profile
+    from repro.sim.experiment import ExperimentContext
+
+    context = ExperimentContext(
+        profile(PROFILE), target_accesses=TARGET_ACCESSES, seed=SEED,
+        workloads=list(WORKLOADS),
+    )
+    table = {}
+    for name in WORKLOADS:
+        comparison = context.compare_policies(
+            name, list(POLICIES), include_opt=True
+        )
+        table[name] = {
+            policy: {
+                "accesses": result.accesses,
+                "misses": result.misses,
+                "miss_ratio": round(result.miss_ratio, 6),
+            }
+            for policy, result in comparison.results.items()
+        }
+    return {
+        "profile": PROFILE,
+        "seed": SEED,
+        "target_accesses": TARGET_ACCESSES,
+        "policies": list(POLICIES) + ["opt"],
+        "table": table,
+    }
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"golden fixture missing at {GOLDEN_PATH}; regenerate with "
+            f"`PYTHONPATH=src:. python -m tests.test_golden_regression`"
+        )
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="module")
+def current():
+    return compute_table()
+
+
+class TestGoldenComparison:
+    def test_scenario_is_pinned(self, golden):
+        assert golden["profile"] == PROFILE
+        assert golden["seed"] == SEED
+        assert golden["target_accesses"] == TARGET_ACCESSES
+        assert set(golden["table"]) == set(WORKLOADS)
+
+    def test_every_cell_present(self, golden, current):
+        for name in WORKLOADS:
+            assert set(golden["table"][name]) == set(current["table"][name])
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_miss_ratios_match_golden(self, golden, current, workload):
+        drifts = []
+        for policy, pinned in golden["table"][workload].items():
+            fresh = current["table"][workload][policy]
+            assert fresh["accesses"] == pinned["accesses"], (
+                f"{workload}/{policy}: stream length changed "
+                f"({pinned['accesses']} -> {fresh['accesses']})"
+            )
+            drift = abs(fresh["miss_ratio"] - pinned["miss_ratio"])
+            if drift > TOLERANCE:
+                drifts.append(
+                    f"{workload}/{policy}: miss_ratio "
+                    f"{pinned['miss_ratio']} -> {fresh['miss_ratio']} "
+                    f"(drift {drift:.6f} > {TOLERANCE})"
+                )
+        assert not drifts, (
+            "golden comparison drifted — if intentional, regenerate the "
+            "fixture:\n  " + "\n  ".join(drifts)
+        )
+
+    def test_opt_is_lower_bound_in_golden(self, golden):
+        # Sanity on the fixture itself: OPT never misses more than LRU.
+        for name, row in golden["table"].items():
+            assert row["opt"]["misses"] <= row["lru"]["misses"], name
+
+
+if __name__ == "__main__":
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(compute_table(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {GOLDEN_PATH}")
