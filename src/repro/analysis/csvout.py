@@ -4,18 +4,29 @@ import csv
 from pathlib import Path
 from typing import Iterable, Sequence, Union
 
+from repro.sim.results import is_failure
+
 
 def write_csv(
     path: Union[str, Path],
     headers: Sequence[str],
     rows: Iterable[Sequence],
 ) -> Path:
-    """Write ``rows`` under ``headers`` to ``path``; returns the path."""
+    """Write ``rows`` under ``headers`` to ``path``; returns the path.
+
+    Graceful-mode :class:`~repro.sim.results.CellFailure` placeholders are
+    written as the explicit token ``FAILED`` rather than their repr, so
+    downstream spreadsheet/pandas consumers see a recognizable sentinel.
+    """
+    from repro.analysis.tables import FAILED_CELL
+
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(headers)
         for row in rows:
-            writer.writerow(row)
+            writer.writerow(
+                [FAILED_CELL if is_failure(cell) else cell for cell in row]
+            )
     return path

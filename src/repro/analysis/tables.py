@@ -6,9 +6,22 @@ pasted straight into EXPERIMENTS.md.
 
 from typing import Iterable, List, Sequence
 
+from repro.sim.results import is_failure
+
+FAILED_CELL = "FAILED"
+"""What a graceful-mode :class:`~repro.sim.results.CellFailure` renders as
+(instead of leaking the dataclass repr into a table or CSV)."""
+
 
 def format_cell(value, float_digits: int = 4) -> str:
-    """Render one cell: floats fixed-precision, everything else ``str``."""
+    """Render one cell: floats fixed-precision, everything else ``str``.
+
+    A :class:`~repro.sim.results.CellFailure` placeholder renders as
+    :data:`FAILED_CELL` — the failure details belong in the run manifest
+    and on stderr, not inside a result table.
+    """
+    if is_failure(value):
+        return FAILED_CELL
     if isinstance(value, bool):
         return "yes" if value else "no"
     if isinstance(value, float):

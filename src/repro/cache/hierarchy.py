@@ -80,9 +80,15 @@ class CmpHierarchy:
         observers: Tuple = (),
         record_stream: bool = False,
         inclusive: bool = True,
+        probe_bus=None,
     ):
         self.machine = machine
         self.inclusive = inclusive
+        # Coherence probe bus (observability only): when set, directory
+        # transactions are published via on_coherence(kind, core, block).
+        # The checks sit on the upgrade/eviction paths, never on the L1-hit
+        # fast path, so an un-probed hierarchy pays nothing per access.
+        self._probe_bus = probe_bus
         self.l1s = [
             PrivateCache(machine.l1, name=f"l1.{core}")
             for core in range(machine.num_cores)
@@ -163,6 +169,8 @@ class CmpHierarchy:
             if l2_victim in dirty:
                 dirty.discard(l2_victim)
                 stats.writebacks += 1
+                if self._probe_bus is not None:
+                    self._probe_bus.on_coherence("writeback", core, l2_victim)
         self.l1s[core].fill(block)
         self.directory.add_sharer(block, core)
 
@@ -171,11 +179,17 @@ class CmpHierarchy:
         others = self.directory.set_exclusive(block, core)
         if others:
             self.stats.upgrades += 1
+            if self._probe_bus is not None:
+                self._probe_bus.on_coherence("upgrade", core, block)
             for other in self.directory.iter_cores(others):
                 if self.l1s[other].invalidate(block):
                     self.stats.invalidations += 1
+                    if self._probe_bus is not None:
+                        self._probe_bus.on_coherence("invalidation", other, block)
                 if self.l2s[other].invalidate(block):
                     self.stats.invalidations += 1
+                    if self._probe_bus is not None:
+                        self._probe_bus.on_coherence("invalidation", other, block)
                 self._dirty_l2_blocks[other].discard(block)
         self._dirty_l2_blocks[core].add(block)
 
@@ -189,9 +203,13 @@ class CmpHierarchy:
             invalidated = self.l2s[core].invalidate(block) or invalidated
             if invalidated:
                 self.stats.inclusion_victims += 1
+                if self._probe_bus is not None:
+                    self._probe_bus.on_coherence("inclusion_victim", core, block)
             if block in self._dirty_l2_blocks[core]:
                 self._dirty_l2_blocks[core].discard(block)
                 self.stats.writebacks += 1
+                if self._probe_bus is not None:
+                    self._probe_bus.on_coherence("writeback", core, block)
 
     def stream(self):
         """The recorded LLC stream (requires ``record_stream=True``).

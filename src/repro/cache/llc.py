@@ -120,9 +120,31 @@ class SharedLlc:
         """Register a residency observer."""
         self.observers.append(observer)
 
+    def attach_probe_bus(self, bus) -> None:
+        """Install per-access probe instrumentation (observability only).
+
+        Attaching shadows :meth:`access` with an instance attribute bound
+        to :meth:`_probed_access`, so an un-probed LLC executes the exact
+        class method — the disabled-probe path carries zero extra branches
+        or lookups on the hot loop (the CI benchmark-smoke job enforces the
+        <2% bound). The bus sees every access *after* the cache model has
+        fully processed it and must never mutate cache or policy state.
+        """
+        self._probe_bus = bus
+        self.access = self._probed_access
+
+    def _probed_access(self, core: int, pc: int, block: int, is_write: bool):
+        hit, evicted = SharedLlc.access(self, core, pc, block, is_write)
+        self._probe_bus.on_access(self, core, pc, block, is_write, hit, evicted)
+        return hit, evicted
+
     def contains(self, block: int) -> bool:
         """Non-mutating residency check."""
         return block in self._where
+
+    def set_index_of(self, block: int) -> int:
+        """The set a block maps to (probes/diagnostics)."""
+        return block & self._set_mask
 
     def access(self, core: int, pc: int, block: int, is_write: bool) -> Tuple[bool, int]:
         """Process one demand access reaching the LLC.

@@ -11,6 +11,8 @@ Subcommands mirror the paper's studies:
 * ``mix``          — sharing-oracle on a multi-programmed mix (F10)
 * ``record``       — record a workload's LLC stream to a file
 * ``replay``       — replay a recorded stream under chosen policies
+* ``inspect``      — microarchitectural probe report per workload
+* ``bench``        — timed warm-sweep cells -> BENCH_<rev>.json trajectory
 * ``cache``        — inspect or clear the persistent stream cache
 * ``list``         — available workloads, policies, profiles
 
@@ -30,6 +32,7 @@ Examples::
 """
 
 import argparse
+import json
 import sys
 from contextlib import contextmanager
 from typing import List, Optional
@@ -53,6 +56,7 @@ from repro.sim.experiment import (
 from repro.sim.parallel import (
     DEFAULT_RETRIES,
     compare_many,
+    inspect_many,
     oracle_many,
     predict_many,
     sweep_many,
@@ -571,19 +575,127 @@ def cmd_replay(args) -> int:
     return 0
 
 
+def cmd_inspect(args) -> int:
+    from repro.characterization.report import render_probe_report
+
+    context = _context(args)
+    probes = list(args.probes) if args.probes else None
+    with _telemetry_run(args, "inspect", context) as run:
+        if run:
+            run.update_manifest(
+                policies=[args.policy], jobs=args.jobs,
+                probes=probes if probes else "auto",
+            )
+        reports = inspect_many(
+            context, context.workload_list, policy=args.policy,
+            probes=probes, jobs=args.jobs, **_run_kwargs(args),
+        )
+        reports, failures = split_failures(reports)
+        if run:
+            # Machine-readable twin of the rendered report, one JSON file
+            # per workload inside the run directory ('runs show' re-renders
+            # them later without re-simulating).
+            for name, report in reports.items():
+                payload_path = run.run_dir / f"inspect_{name}.json"
+                payload_path.write_text(
+                    json.dumps(report.as_dict(), indent=2) + "\n",
+                    encoding="utf-8",
+                )
+    _report_failures(failures)
+    for index, report in enumerate(reports.values()):
+        if index:
+            print()
+        print(render_probe_report(report))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.sim.bench import GOLDEN_CELL, run_bench
+
+    repeats = args.repeats
+    if args.quick:
+        args.accesses = min(args.accesses, 60_000)
+        repeats = min(repeats, 2)
+    context = _context(args)
+    with _telemetry_run(args, "bench", context):
+        payload, path = run_bench(
+            context, workload=args.workload, repeats=repeats,
+            out_dir=args.out_dir,
+        )
+    rows = [
+        [name, cell["min_sec"], cell["mean_sec"],
+         round(cell["accesses_per_sec"])]
+        for name, cell in payload["cells"].items()
+    ]
+    print(render_table(
+        ["cell", "min_sec", "mean_sec", "acc_per_sec"], rows,
+        title=(
+            f"Bench {payload['rev']} ({args.profile}, {args.workload}, "
+            f"{payload['target_accesses']} accesses, min of {repeats})"
+        ),
+    ))
+    overhead = payload["disabled_probe_overhead"]
+    print(f"disabled-probe overhead on {GOLDEN_CELL}: {overhead:+.4%}")
+    vs = payload.get("vs_previous")
+    if vs:
+        print(f"golden throughput vs {vs['rev']}: "
+              f"{vs['golden_speedup']:.3f}x")
+    print(f"wrote {path}")
+    if args.max_overhead is not None and overhead > args.max_overhead:
+        print(
+            f"error: disabled-probe overhead {overhead:.4%} exceeds the "
+            f"{args.max_overhead:.2%} bound",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _warn_corrupt(path, detail) -> None:
+    """One-line stderr warning for a corrupt telemetry file (no traceback)."""
+    print(f"warning: {path}: {detail}", file=sys.stderr)
+
+
+def _render_probe_payloads(run_dir) -> None:
+    """Fold any inspect_*.json probe reports of a run into ``runs show``."""
+    from repro.characterization.report import render_probe_report
+
+    for path in sorted(run_dir.glob("inspect_*.json")):
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            _warn_corrupt(path, "corrupt probe report; skipping")
+            continue
+        if not isinstance(payload, dict) or "result" not in payload:
+            _warn_corrupt(path, "unrecognized probe report; skipping")
+            continue
+        print()
+        try:
+            print(render_probe_report(payload))
+        except (KeyError, TypeError, ValueError):
+            _warn_corrupt(path, "truncated probe report; skipping")
+
+
 def cmd_runs(args) -> int:
     root = _runs_root(args)
     if args.action == "list":
         rows = []
-        for run in telemetry.list_runs(root):
+        runs = telemetry.list_runs(
+            root,
+            on_error=lambda path, detail: _warn_corrupt(path, detail),
+        )
+        for run in runs:
             manifest = run.manifest
-            cells = manifest.get("cells") or {}
+            cells = manifest.get("cells")
+            if not isinstance(cells, dict):
+                cells = {}
+            workloads = manifest.get("workloads")
             rows.append([
                 run.run_id,
                 manifest.get("command", "?"),
                 run.status,
                 manifest.get("machine", "?"),
-                len(manifest.get("workloads") or []),
+                len(workloads) if isinstance(workloads, list) else "?",
                 cells.get("completed", ""),
                 cells.get("failed", ""),
                 manifest.get("wall_sec", ""),
@@ -602,7 +714,12 @@ def cmd_runs(args) -> int:
             if key not in skip]
     print(render_table(["field", "value"], rows,
                        title=f"Run {run.run_id} manifest"))
-    events = telemetry.read_events(run.path)
+    events = telemetry.read_events(
+        run.path,
+        on_error=lambda path, count: _warn_corrupt(
+            path, f"skipped {count} malformed event line(s)"
+        ),
+    )
     stages = telemetry.summarize_spans(events)
     if stages:
         stage_rows = []
@@ -616,15 +733,16 @@ def cmd_runs(args) -> int:
             ["stage", "spans", "total_sec", "mean_sec", "max_sec"],
             stage_rows, title="Stage spans",
         ))
-    failures = run.manifest.get("failures") or []
-    if failures:
+    failures = run.manifest.get("failures")
+    if isinstance(failures, list) and failures:
         print(render_table(
             ["cell", "workload", "error", "attempts"],
             [[f.get("kind"), f.get("workload"),
               f"{f.get('error_type')}: {f.get('error')}", f.get("attempts")]
-             for f in failures],
+             for f in failures if isinstance(f, dict)],
             title="Failed cells",
         ))
+    _render_probe_payloads(run.path)
     return 0
 
 
@@ -699,6 +817,43 @@ def build_parser() -> argparse.ArgumentParser:
                         "sampling; 1 = full simulation)")
     _add_fastpath_argument(p)
 
+    p = subparsers.add_parser(
+        "inspect",
+        help="microarchitectural probe report (per-set/per-policy counters)",
+    )
+    _add_common_arguments(p)
+    _add_jobs_argument(p)
+    p.add_argument("--policy", default="lru", choices=POLICY_NAMES,
+                   help="replacement policy governing the probed replay")
+    from repro.sim.probes import PROBE_NAMES
+
+    p.add_argument(
+        "--probes", nargs="*", default=None, metavar="NAME",
+        choices=PROBE_NAMES,
+        help=f"probe subset (default: auto-select for the policy; "
+             f"choices: {', '.join(PROBE_NAMES)})",
+    )
+
+    p = subparsers.add_parser(
+        "bench",
+        help="timed warm-sweep cells -> BENCH_<rev>.json trajectory",
+    )
+    _add_common_arguments(p)
+    p.add_argument("--workload", default="streamcluster",
+                   help="bench workload (default: streamcluster)")
+    p.add_argument("--repeats", type=_positive_int, default=3,
+                   help="timing repeats per cell; minimum is reported")
+    p.add_argument("--quick", action="store_true",
+                   help="CI-sized run: caps accesses at 60k and repeats at 2")
+    p.add_argument("--out-dir", default="benchmarks/results", metavar="DIR",
+                   help="directory receiving BENCH_<rev>.json "
+                        "(default: benchmarks/results)")
+    p.add_argument(
+        "--max-overhead", type=_positive_float, default=None, metavar="FRAC",
+        help="fail (exit 1) when the disabled-probe overhead on the golden "
+             "warm-replay cell exceeds this fraction (CI uses 0.02)",
+    )
+
     p = subparsers.add_parser("cache",
                               help="inspect or clear the persistent stream cache")
     p.add_argument("action", choices=("info", "clear"),
@@ -732,6 +887,8 @@ _COMMANDS = {
     "mix": cmd_mix,
     "record": cmd_record,
     "replay": cmd_replay,
+    "inspect": cmd_inspect,
+    "bench": cmd_bench,
     "cache": cmd_cache,
     "runs": cmd_runs,
 }

@@ -93,6 +93,17 @@ class ReplacementPolicy(ABC):
                 return way, first
         return -1, first
 
+    def introspect(self) -> dict:
+        """JSON-able snapshot of the policy's internal state.
+
+        The probe layer (:mod:`repro.sim.probes`) folds this into its
+        machine-readable reports. The base contract: keys are plain strings,
+        values JSON-serialisable, and reading the snapshot never mutates
+        replacement state. Subclasses extend the dict with their own
+        internals (PSEL value, SHCT histogram, RRPV bits, ...).
+        """
+        return {"policy": self.name}
+
     def __repr__(self) -> str:
         bound = self.geometry.describe() if self.geometry else "unbound"
         return f"{type(self).__name__}({bound})"

@@ -73,6 +73,26 @@ class DuelingController:
         """Current PSEL value (exposed for tests and ablations)."""
         return self._psel
 
+    @property
+    def psel_max(self) -> int:
+        """Saturation ceiling of the PSEL counter."""
+        return self._psel_max
+
+    @property
+    def threshold(self) -> int:
+        """PSEL value at and above which followers adopt policy B."""
+        return self._threshold
+
+    def describe(self) -> dict:
+        """JSON-able snapshot of the dueling state (probe layer)."""
+        return {
+            "psel": self._psel,
+            "psel_max": self._psel_max,
+            "threshold": self._threshold,
+            "leader_window": self._window,
+            "winning": "B" if self._psel >= self._threshold else "A",
+        }
+
 
 class BipPolicy(LruPolicy):
     """Bimodal insertion: LRU insertion except 1/``bip_throttle`` at MRU."""
@@ -125,3 +145,9 @@ class DipPolicy(LruPolicy):
             stamps[way] = self._clock
         else:
             stamps[way] = min(stamps) - 1
+
+    def introspect(self) -> dict:
+        snapshot = super().introspect()
+        snapshot["duel"] = self.duel.describe() if self.duel else None
+        snapshot["constituents"] = {"A": "lru", "B": "bip"}
+        return snapshot

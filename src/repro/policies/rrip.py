@@ -59,6 +59,22 @@ class SrripPolicy(ReplacementPolicy):
                 rrpvs[way] += 1
         return sorted(range(self.ways), key=lambda way: -rrpvs[way])
 
+    def rrpv_values(self, set_index: int) -> tuple:
+        """Read-only snapshot of one set's RRPVs (probe layer)."""
+        return tuple(self._rrpv[set_index])
+
+    def introspect(self) -> dict:
+        snapshot = super().introspect()
+        snapshot["rrpv_max"] = self.rrpv_max
+        if self.geometry is None:
+            return snapshot
+        counts = {}
+        for rrpvs in self._rrpv:
+            for value in rrpvs:
+                counts[value] = counts.get(value, 0) + 1
+        snapshot["rrpv_histogram"] = {str(k): v for k, v in sorted(counts.items())}
+        return snapshot
+
 
 class BrripPolicy(SrripPolicy):
     """Bimodal RRIP: distant insertion except 1/``throttle`` long."""
@@ -106,3 +122,9 @@ class DrripPolicy(SrripPolicy):
     def on_fill(self, set_index, way, block, pc, core, is_write) -> None:
         self.duel.record_miss(set_index)
         super().on_fill(set_index, way, block, pc, core, is_write)
+
+    def introspect(self) -> dict:
+        snapshot = super().introspect()
+        snapshot["duel"] = self.duel.describe() if self.duel else None
+        snapshot["constituents"] = {"A": "srrip", "B": "brrip"}
+        return snapshot

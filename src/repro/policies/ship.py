@@ -63,3 +63,22 @@ class ShipPolicy(SrripPolicy):
             signature = self._signature[set_index][way]
             if self._shct[signature] > 0:
                 self._shct[signature] -= 1
+
+    def shct_histogram(self) -> dict:
+        """Counter-value distribution over the whole SHCT (probe layer)."""
+        counts = {}
+        for value in self._shct:
+            counts[value] = counts.get(value, 0) + 1
+        return counts
+
+    def introspect(self) -> dict:
+        snapshot = super().introspect()
+        histogram = self.shct_histogram()
+        initial = self.counter_max // 2 + 1
+        trained = self.shct_size - histogram.get(initial, 0)
+        snapshot["shct_size"] = self.shct_size
+        snapshot["counter_max"] = self.counter_max
+        snapshot["shct_histogram"] = {str(k): v for k, v in sorted(histogram.items())}
+        snapshot["shct_trained_entries"] = trained
+        snapshot["shct_dead_entries"] = histogram.get(0, 0)
+        return snapshot

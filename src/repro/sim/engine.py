@@ -28,7 +28,9 @@ class LlcOnlySimulator:
     ):
         self.llc = SharedLlc(geometry, policy, observers=observers)
 
-    def run(self, stream: LlcStream, flush: bool = True) -> LlcSimResult:
+    def run(
+        self, stream: LlcStream, flush: bool = True, profile=None
+    ) -> LlcSimResult:
         """Replay ``stream`` to completion.
 
         The hot loop zips the four columns instead of indexing each per
@@ -39,6 +41,9 @@ class LlcOnlySimulator:
         Args:
             stream: the recorded LLC demand stream.
             flush: notify observers of still-live residencies afterwards.
+            profile: optional dict receiving per-stage wall times
+                (``replay_loop``, ``flush``) for the replay profiler;
+                ``None`` (the default) times nothing beyond the loop.
         """
         access = self.llc.access
         start = perf_counter()
@@ -46,7 +51,12 @@ class LlcOnlySimulator:
             access(core, pc, block, write != 0)
         elapsed = perf_counter() - start
         if flush:
+            flush_start = perf_counter()
             self.llc.flush_residencies()
+            if profile is not None:
+                profile["flush"] = perf_counter() - flush_start
+        if profile is not None:
+            profile["replay_loop"] = elapsed
         result = LlcSimResult(
             policy=self.llc.policy.name,
             stream_name=stream.name,

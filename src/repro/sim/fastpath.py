@@ -328,23 +328,36 @@ def reconstruct_lru_replay(
     stream: LlcStream,
     geometry: CacheGeometry,
     use_numpy: Optional[bool] = None,
+    profile=None,
 ) -> LruReplayReconstruction:
     """Classify ``stream`` under exact LRU and rebuild residency metadata.
 
     ``use_numpy`` selects the metadata-reconstruction kernel explicitly;
     ``None`` auto-selects by availability and stream size. Both kernels
-    return bit-identical metadata (equivalence-tested).
+    return bit-identical metadata (equivalence-tested). ``profile``, when
+    a dict, receives per-phase wall times (``stack_walk``,
+    ``reconstruct``) plus the kernel that ran (``reconstruct_kernel``:
+    ``"numpy"`` or ``"python"``) for the replay profiler.
     """
     blocks = stream.blocks
+    start = perf_counter()
     walk = _stack_walk(
         blocks.tolist() if isinstance(blocks, array) else list(blocks),
         geometry.num_sets,
         geometry.ways,
     )
+    if profile is not None:
+        profile["stack_walk"] = perf_counter() - start
+        start = perf_counter()
+    kernel = "python"
     if should_vectorize(use_numpy, walk.n, VECTORIZE_THRESHOLD):
         if _reconstruct_numpy(walk, stream):
-            return walk
-    _reconstruct_python(walk, stream)
+            kernel = "numpy"
+    if kernel == "python":
+        _reconstruct_python(walk, stream)
+    if profile is not None:
+        profile["reconstruct"] = perf_counter() - start
+        profile["reconstruct_kernel"] = kernel
     return walk
 
 
@@ -404,6 +417,7 @@ def replay_lru_fastpath(
     geometry: CacheGeometry,
     observers: Tuple = (),
     use_numpy: Optional[bool] = None,
+    profile=None,
 ) -> LlcSimResult:
     """Replay ``stream`` under exact LRU via the stack-distance fast path.
 
@@ -412,11 +426,18 @@ def replay_lru_fastpath(
     same hit/miss/eviction counts, same observer callbacks in the same
     order. Observer work happens after classification (phase 3), so when
     no observers are attached the replay is pure classification.
+    ``profile``, when a dict, receives per-phase wall times (see
+    :func:`reconstruct_lru_replay`, plus ``observer_replay``).
     """
     start = perf_counter()
     if observers:
-        walk = reconstruct_lru_replay(stream, geometry, use_numpy=use_numpy)
+        walk = reconstruct_lru_replay(
+            stream, geometry, use_numpy=use_numpy, profile=profile
+        )
+        phase_start = perf_counter()
         _replay_observers(walk, stream, tuple(observers))
+        if profile is not None:
+            profile["observer_replay"] = perf_counter() - phase_start
         n, hits, misses = walk.n, walk.hits, walk.misses
     else:
         blocks = stream.blocks
@@ -425,6 +446,8 @@ def replay_lru_fastpath(
             geometry.num_sets,
             geometry.ways,
         )
+        if profile is not None:
+            profile["count_walk"] = perf_counter() - start
     elapsed = perf_counter() - start
     return LlcSimResult(
         policy="lru",

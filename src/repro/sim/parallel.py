@@ -202,6 +202,14 @@ def execute_cell(context, cell: ExperimentCell):
             base=base, horizon_turnovers=turnovers, seed=context.seed,
             fastpath=context.fastpath,
         )
+    if cell.kind == "inspect":
+        from repro.sim.probes import inspect_workload
+
+        policy, probe_names = cell.params
+        return inspect_workload(
+            context, cell.workload, policy=policy,
+            probes=list(probe_names) if probe_names else None,
+        )
     if cell.kind == "predict":
         from repro.predictors.harness import PredictorHarness
         from repro.predictors.registry import make_predictor
@@ -563,6 +571,32 @@ def sweep_many(
         for cell, result in zip(cells, results)
     }
     return {key: by_cell[key] for key in keys}
+
+
+def inspect_many(
+    context,
+    workloads: Iterable[str],
+    policy: str = "lru",
+    probes: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = 1,
+    **run_kwargs,
+) -> Dict[str, object]:
+    """Probe reports for many workloads, keyed by workload.
+
+    Probe summaries are plain data (:class:`repro.sim.probes.ProbeReport`
+    is picklable), so workers serialize their payloads back to the parent
+    exactly like every other cell record; ``probes=None`` lets each cell
+    pick the policy's default probe set.
+    """
+    workloads = list(workloads)
+    cells = [
+        ExperimentCell(
+            "inspect", name, (policy, tuple(probes) if probes else ())
+        )
+        for name in workloads
+    ]
+    results = run_cells(context, cells, jobs=jobs, **run_kwargs)
+    return dict(zip(workloads, results))
 
 
 def predict_many(

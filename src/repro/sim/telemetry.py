@@ -318,11 +318,18 @@ class RunInfo:
         return self.manifest.get("status", "unknown")
 
 
-def list_runs(root: Optional[Union[str, Path]] = None) -> List[RunInfo]:
+def list_runs(
+    root: Optional[Union[str, Path]] = None,
+    on_error=None,
+) -> List[RunInfo]:
     """Every readable run under ``root``, oldest first.
 
-    Unreadable or half-written manifests yield a ``status="corrupt"``
-    placeholder instead of raising — listing must survive crashed runs.
+    Unreadable, half-written, or structurally wrong manifests (valid JSON
+    that is not an object counts — a crashed atomic rewrite cannot produce
+    one, but a stray editor can) yield a ``status="corrupt"`` placeholder
+    instead of raising — listing must survive crashed runs. ``on_error``,
+    when given, is called as ``on_error(manifest_path, detail)`` once per
+    corrupt manifest so CLIs can surface a one-line warning.
     """
     root = resolve_runs_root(root)
     if not root.is_dir():
@@ -332,10 +339,20 @@ def list_runs(root: Optional[Union[str, Path]] = None) -> List[RunInfo]:
         manifest_path = run_dir / MANIFEST_NAME
         if not manifest_path.exists():
             continue
+        detail = None
         try:
             manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+        except OSError as error:
+            manifest, detail = None, f"unreadable manifest ({error})"
+        except ValueError:
+            detail = "corrupt manifest (not valid JSON)"
+            manifest = None
+        if not isinstance(manifest, dict):
+            if detail is None:
+                detail = "corrupt manifest (not a JSON object)"
             manifest = {"status": "corrupt"}
+            if on_error is not None:
+                on_error(manifest_path, detail)
         runs.append(RunInfo(run_id=run_dir.name, path=run_dir, manifest=manifest))
     return runs
 
@@ -360,38 +377,65 @@ def load_run(
     return matches[0]
 
 
-def read_events(run_dir: Union[str, Path]) -> List[Dict]:
+def read_events(
+    run_dir: Union[str, Path], on_error=None
+) -> List[Dict]:
     """Parse a run's event log, skipping torn or malformed lines.
 
     A line a killed worker never finished is data loss already — dropping
-    it beats refusing to show the rest of the run.
+    it beats refusing to show the rest of the run. Non-object JSON lines
+    are dropped the same way (every consumer treats events as dicts).
+    ``on_error``, when given, is called once as ``on_error(path, count)``
+    if any lines were skipped — or if the log itself is unreadable
+    (``count=0`` then) — so CLIs can print a one-line warning.
     """
     path = Path(run_dir) / EVENTS_NAME
     if not path.exists():
         return []
     events = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                events.append(json.loads(line))
-            except ValueError:
-                continue
+    malformed = 0
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    malformed += 1
+                    continue
+                if not isinstance(event, dict):
+                    malformed += 1
+                    continue
+                events.append(event)
+    except OSError:
+        if on_error is not None:
+            on_error(path, 0)
+        return events
+    if malformed and on_error is not None:
+        on_error(path, malformed)
     return events
 
 
 def summarize_spans(events: List[Dict]) -> Dict[str, RunningStats]:
-    """Aggregate span wall times per stage (for ``runs show``)."""
+    """Aggregate span wall times per stage (for ``runs show``).
+
+    Tolerant of malformed span events (non-numeric or missing wall times
+    from torn writes): a bad event is skipped, never fatal.
+    """
     stages: Dict[str, RunningStats] = {}
     for event in events:
-        if event.get("kind") != "span":
+        if not isinstance(event, dict) or event.get("kind") != "span":
+            continue
+        try:
+            wall = float(event.get("wall_sec", 0.0))
+        except (TypeError, ValueError):
             continue
         stage = event.get("stage", "?")
-        stages.setdefault(stage, RunningStats()).add(
-            float(event.get("wall_sec", 0.0))
-        )
+        if not isinstance(stage, str):
+            stage = repr(stage)
+        stages.setdefault(stage, RunningStats()).add(wall)
     return stages
 
 

@@ -117,3 +117,41 @@ class TestGroupMeans:
         rows = [["b1", 1.0], ["a1", 2.0], ["b2", 3.0]]
         append_group_means(rows, [1], group_of=lambda name: name[0])
         assert [row[0] for row in rows[-2:]] == ["mean/b", "mean/a"]
+
+
+class TestFailedCells:
+    """Graceful-mode CellFailure placeholders render as an explicit token,
+    never as a dataclass repr leaking into a table or CSV."""
+
+    @staticmethod
+    def failure():
+        from repro.sim.results import CellFailure
+
+        return CellFailure(
+            kind="compare", workload="water", params=("lru",),
+            error_type="RuntimeError", error="boom", attempts=3,
+        )
+
+    def test_format_cell_renders_failed_token(self):
+        from repro.analysis.tables import FAILED_CELL
+
+        assert format_cell(self.failure()) == FAILED_CELL
+        assert FAILED_CELL == "FAILED"
+
+    def test_render_table_shows_failed_not_repr(self):
+        text = render_table(
+            ["workload", "lru"], [["water", self.failure()], ["fft", 0.5]]
+        )
+        assert "FAILED" in text
+        assert "CellFailure" not in text
+        assert "boom" not in text
+
+    def test_write_csv_substitutes_failed_token(self, tmp_path):
+        path = write_csv(
+            tmp_path / "out.csv", ["workload", "lru"],
+            [["water", self.failure()], ["fft", 0.5]],
+        )
+        content = path.read_text()
+        assert "water,FAILED" in content
+        assert "CellFailure" not in content
+        assert "fft,0.5" in content

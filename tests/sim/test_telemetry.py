@@ -295,3 +295,108 @@ class TestCrashAcceptance:
         assert "worker process died" in capsys.readouterr().err
         runs = runs_under(cache)
         assert runs[0].status == "failed"
+
+
+class TestCorruptionHardening:
+    """Satellite: every reader degrades to a warning, never a traceback."""
+
+    def test_list_runs_reports_invalid_json(self, tmp_path):
+        run = telemetry.create_run(tmp_path, command="a")
+        (run.run_dir / telemetry.MANIFEST_NAME).write_text("{not json")
+        errors = []
+        runs = telemetry.list_runs(
+            tmp_path, on_error=lambda path, detail: errors.append(detail)
+        )
+        assert runs[0].status == "corrupt"
+        assert errors and "not valid JSON" in errors[0]
+
+    def test_list_runs_reports_non_object_manifest(self, tmp_path):
+        run = telemetry.create_run(tmp_path, command="a")
+        (run.run_dir / telemetry.MANIFEST_NAME).write_text('[1, 2, 3]')
+        errors = []
+        runs = telemetry.list_runs(
+            tmp_path, on_error=lambda path, detail: errors.append(detail)
+        )
+        assert runs[0].status == "corrupt"
+        assert errors and "not a JSON object" in errors[0]
+
+    def test_read_events_counts_skipped_lines(self, run):
+        run.event("good")
+        with open(run.events_path, "a") as handle:
+            handle.write('"a bare string"\n')   # valid JSON, wrong shape
+            handle.write('{"kind": "torn\n')    # killed mid-write
+        run.event("after")
+        reported = []
+        events = telemetry.read_events(
+            run.run_dir, on_error=lambda path, count: reported.append(count)
+        )
+        assert [e["kind"] for e in events][-2:] == ["good", "after"]
+        assert reported == [2]
+
+    def test_summarize_spans_tolerates_malformed_events(self):
+        events = [
+            {"kind": "span", "stage": "replay", "wall_sec": 1.0},
+            {"kind": "span", "stage": "replay", "wall_sec": "garbage"},
+            {"kind": "span", "stage": "replay"},  # missing wall_sec -> 0
+            {"kind": "span", "stage": 7, "wall_sec": 1.0},
+            "not an event at all",
+        ]
+        stages = telemetry.summarize_spans(events)
+        assert stages["replay"].count == 2
+        assert stages["replay"].total == 1.0
+        assert stages["7"].count == 1
+
+    def test_runs_list_warns_but_succeeds_on_corrupt_manifest(
+        self, capsys, tmp_path
+    ):
+        cache = str(tmp_path / "cache")
+        assert main(["compare", *FAST, "--policies", "lru",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        run = runs_under(cache)[0]
+        (run.path / telemetry.MANIFEST_NAME).write_text("{half a manif")
+        assert main(["runs", "list", "--cache-dir", cache]) == 0
+        captured = capsys.readouterr()
+        assert "warning:" in captured.err
+        assert "Traceback" not in captured.err
+        assert "corrupt" in captured.out
+
+    def test_runs_show_warns_but_succeeds_on_corrupt_events(
+        self, capsys, tmp_path
+    ):
+        cache = str(tmp_path / "cache")
+        assert main(["compare", *FAST, "--policies", "lru",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        run = runs_under(cache)[0]
+        with open(run.path / telemetry.EVENTS_NAME, "a") as handle:
+            handle.write("][ not json\n")
+        assert main(["runs", "show", run.run_id, "--cache-dir", cache]) == 0
+        captured = capsys.readouterr()
+        assert "warning:" in captured.err
+        assert "skipped 1 malformed" in captured.err
+        assert "Stage spans" in captured.out
+
+    def test_runs_show_survives_manifest_of_wrong_shapes(
+        self, capsys, tmp_path
+    ):
+        cache = str(tmp_path / "cache")
+        assert main(["compare", *FAST, "--policies", "lru",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        run = runs_under(cache)[0]
+        manifest = json.loads(
+            (run.path / telemetry.MANIFEST_NAME).read_text()
+        )
+        manifest["cells"] = "everything is strings now"
+        manifest["workloads"] = {"wrong": "shape"}
+        manifest["failures"] = ["not a dict", {"kind": "x", "workload": "y",
+                                               "error_type": "E",
+                                               "error": "boom"}]
+        (run.path / telemetry.MANIFEST_NAME).write_text(
+            json.dumps(manifest)
+        )
+        assert main(["runs", "show", run.run_id, "--cache-dir", cache]) == 0
+        captured = capsys.readouterr()
+        assert "Traceback" not in captured.err
+        assert "manifest" in captured.out
