@@ -11,8 +11,10 @@ from benchmarks.conftest import emit, once
 from repro.cache.hierarchy import CmpHierarchy
 from repro.common.config import PROFILE_NAMES, profile
 from repro.policies.lru import LruPolicy
+from repro.policies.registry import make_policy
 from repro.sim.engine import LlcOnlySimulator
 from repro.sim.fastpath import replay_lru_fastpath
+from repro.sim.setpath import replay_setpath
 from repro.workloads.registry import get_workload
 
 
@@ -63,9 +65,26 @@ def test_t2_simulator_throughput(benchmark, context):
         # sweep/oracle base replay sees).
         fast = replay_lru_fastpath(stream, context.machine.llc)
         assert (fast.hits, fast.misses) == (replay.hits, replay.misses)
-        return hierarchy_rate, replay.accesses_per_sec, fast.accesses_per_sec
 
-    hierarchy_rate, replay_rate, fastpath_rate = once(benchmark, run_all)
+        # The set-partitioned tier on a representative non-LRU policy
+        # (bit-identical to the scalar model; this is the speedup the
+        # policy-comparison sweeps see for the RRIP/DIP-class cells).
+        srrip_scalar = LlcOnlySimulator(
+            context.machine.llc, make_policy("srrip")
+        ).run(stream)
+        srrip_setpath = replay_setpath(
+            stream, context.machine.llc, make_policy("srrip")
+        )
+        assert (srrip_setpath.hits, srrip_setpath.misses) == (
+            srrip_scalar.hits, srrip_scalar.misses
+        )
+        return (
+            hierarchy_rate, replay.accesses_per_sec, fast.accesses_per_sec,
+            srrip_scalar.accesses_per_sec, srrip_setpath.accesses_per_sec,
+        )
+
+    (hierarchy_rate, replay_rate, fastpath_rate, srrip_rate,
+     setpath_rate) = once(benchmark, run_all)
     emit(
         "t2_throughput",
         ["metric", "value"],
@@ -74,9 +93,13 @@ def test_t2_simulator_throughput(benchmark, context):
             ["llc replay accesses/sec", int(replay_rate)],
             ["lru fastpath accesses/sec", int(fastpath_rate)],
             ["fastpath speedup", round(fastpath_rate / replay_rate, 2)],
+            ["srrip scalar accesses/sec", int(srrip_rate)],
+            ["srrip setpath accesses/sec", int(setpath_rate)],
+            ["setpath speedup", round(setpath_rate / srrip_rate, 2)],
         ],
         title="[T2b] Simulator throughput",
     )
     assert hierarchy_rate > 10_000
     assert replay_rate > 10_000
     assert fastpath_rate >= 2 * replay_rate
+    assert setpath_rate >= 2 * srrip_rate

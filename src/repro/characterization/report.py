@@ -45,30 +45,30 @@ def characterize_stream(
         seed: seed for stochastic policies.
         track_phases: also collect per-block phase statistics (costs memory
             proportional to the block footprint).
-        fastpath: three-state gate for the exact stack-distance fast path
-            on plain-LRU replays (None = auto; results are bit-identical
+        fastpath: three-state gate for the exact replay fast paths
+            (stack-distance for LRU, set-partitioned for the rest of the
+            eligible matrix; None = auto; results are bit-identical
             either way).
     """
     # Imported here rather than at module level: repro.sim.experiment
     # imports this module, and pulling the engine in lazily keeps the
     # package import graph acyclic whichever package is imported first.
     from repro.sim.engine import LlcOnlySimulator
-    from repro.sim.fastpath import (
-        fastpath_eligible,
-        fastpath_enabled,
-        replay_lru_fastpath,
-    )
+    from repro.sim.setpath import try_fast_replay
 
     classifier = SharingClassifier()
     observers = [classifier]
     phase_tracker = SharingPhaseTracker() if track_phases else None
     if phase_tracker is not None:
         observers.append(phase_tracker)
-    if fastpath_eligible(policy_name) and fastpath_enabled(fastpath):
-        result = replay_lru_fastpath(
-            stream, geometry, observers=tuple(observers)
-        )
-    else:
+    # The instance (not the name) goes to the dispatch: this caller seeds
+    # with the plain ``seed`` rather than a derived stream, and passing
+    # the instance keeps that on every tier.
+    result = try_fast_replay(
+        stream, geometry, make_policy(policy_name, seed=seed),
+        observers=tuple(observers), fastpath=fastpath,
+    )
+    if result is None:
         policy = make_policy(policy_name, seed=seed)
         simulator = LlcOnlySimulator(geometry, policy, observers=tuple(observers))
         result = simulator.run(stream)

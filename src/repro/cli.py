@@ -141,8 +141,10 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
 def _add_fastpath_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-fastpath", action="store_true",
-        help="force the scalar cache model even for plain-LRU replays "
-             "(results are bit-identical; this only trades speed)",
+        help="force the scalar cache model even for replay-tier-eligible "
+             "policies (LRU stack-distance and the set-partitioned "
+             "RRIP/DIP/NRU/random/OPT tiers; results are bit-identical, "
+             "this only trades speed)",
     )
 
 
@@ -565,7 +567,10 @@ def cmd_replay(args) -> int:
                                               fastpath=_fastpath_spec(args))
                 row.append(result.miss_ratio)
         if args.opt:
-            row.append(run_opt(stream, geometry).miss_ratio)
+            row.append(
+                run_opt(stream, geometry,
+                        fastpath=_fastpath_spec(args)).miss_ratio
+            )
         rows.append(row)
     headers = ["stream"] + list(args.policies) + (["opt"] if args.opt else [])
     suffix = (f", 1/{args.sample_ratio} sets sampled"
@@ -636,19 +641,36 @@ def cmd_bench(args) -> int:
     ))
     overhead = payload["disabled_probe_overhead"]
     print(f"disabled-probe overhead on {GOLDEN_CELL}: {overhead:+.4%}")
+    speedups = payload.get("setpath_speedups") or {}
+    if speedups:
+        rendered = ", ".join(
+            f"{name} {value:.2f}x" for name, value in speedups.items()
+        )
+        print(f"set-partitioned speedup vs scalar twin: {rendered}")
     vs = payload.get("vs_previous")
     if vs:
         print(f"golden throughput vs {vs['rev']}: "
               f"{vs['golden_speedup']:.3f}x")
     print(f"wrote {path}")
+    failed = False
     if args.max_overhead is not None and overhead > args.max_overhead:
         print(
             f"error: disabled-probe overhead {overhead:.4%} exceeds the "
             f"{args.max_overhead:.2%} bound",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    if args.min_setpath_speedup is not None:
+        for name, value in speedups.items():
+            if value < args.min_setpath_speedup:
+                print(
+                    f"error: {name} is only {value:.2f}x its scalar twin "
+                    f"(bound {args.min_setpath_speedup:.2f}x) — the "
+                    f"set-partitioned tier may have silently fallen back",
+                    file=sys.stderr,
+                )
+                failed = True
+    return 1 if failed else 0
 
 
 def _warn_corrupt(path, detail) -> None:
@@ -852,6 +874,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-overhead", type=_positive_float, default=None, metavar="FRAC",
         help="fail (exit 1) when the disabled-probe overhead on the golden "
              "warm-replay cell exceeds this fraction (CI uses 0.02)",
+    )
+    p.add_argument(
+        "--min-setpath-speedup", type=_positive_float, default=None,
+        metavar="X",
+        help="fail (exit 1) when any set-partitioned cell is less than X "
+             "times faster than its forced-scalar twin (CI uses 2.0)",
     )
 
     p = subparsers.add_parser("cache",

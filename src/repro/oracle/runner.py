@@ -16,12 +16,8 @@ from repro.oracle.residency import FillSharingLog
 from repro.oracle.wrapper import SharingAwareWrapper
 from repro.policies.registry import make_policy
 from repro.sim.engine import LlcOnlySimulator
-from repro.sim.fastpath import (
-    fastpath_eligible,
-    fastpath_enabled,
-    replay_lru_fastpath,
-)
 from repro.sim.results import LlcSimResult
+from repro.sim.setpath import try_fast_replay
 
 
 MAX_HORIZON_FACTOR = 10
@@ -101,8 +97,9 @@ def run_oracle_study(
         cap: budget saturation value.
         seed: seed for stochastic base policies (both replays re-seed the
             base identically so only the oracle differs).
-        fastpath: three-state gate for the exact stack-distance fast path
-            on the plain-LRU base replay (None = auto; the oracle-wrapped
+        fastpath: three-state gate for the exact replay fast paths on the
+            base replay — stack-distance for plain LRU, set-partitioned
+            for other eligible bases (None = auto; the oracle-wrapped
             replay always uses the scalar model).
     """
     if horizon_turnovers <= 0:
@@ -114,11 +111,13 @@ def run_oracle_study(
         return make_policy(base, seed=derive_seed(seed, "oracle-base", base))
 
     base_log = FillSharingLog(len(stream))
-    if fastpath_eligible(base) and fastpath_enabled(fastpath):
-        base_result = replay_lru_fastpath(
-            stream, geometry, observers=(base_log,)
-        )
-    else:
+    # The instance (not the name) goes to the dispatch so the base keeps
+    # its "oracle-base" seed derivation on every tier.
+    base_result = try_fast_replay(
+        stream, geometry, fresh_base(), observers=(base_log,),
+        fastpath=fastpath,
+    )
+    if base_result is None:
         base_result = LlcOnlySimulator(
             geometry, fresh_base(), observers=(base_log,)
         ).run(stream)

@@ -15,9 +15,26 @@ sets at attach time.
 """
 
 from abc import ABC, abstractmethod
+from typing import Dict, Optional
 
 from repro.common.config import CacheGeometry
 from repro.common.errors import SimulationError
+from repro.common.rng import DeterministicRng, derive_seed
+
+REPLAY_STACK = "stack"
+"""Exact Mattson stack-distance replay (plain LRU only)."""
+
+REPLAY_SET = "set"
+"""Exact set-partitioned replay: sets are independent state machines."""
+
+REPLAY_DUELING = "dueling"
+"""Set-partitioned replay with two-phase PSEL reconstruction (DIP/DRRIP)."""
+
+REPLAY_SCALAR = "scalar"
+"""No exact fast path is known; replay through the scalar cache model."""
+
+REPLAY_TIERS = (REPLAY_STACK, REPLAY_SET, REPLAY_DUELING, REPLAY_SCALAR)
+"""Every replay tier, fastest-first (see DESIGN.md decision 9)."""
 
 
 class ReplacementPolicy(ABC):
@@ -25,11 +42,47 @@ class ReplacementPolicy(ABC):
 
     name: str = "base"
 
+    REPLAY_TIER: str = REPLAY_SCALAR
+    """Replay tier this class declares itself exact under.
+
+    Deliberately **not inherited**: :meth:`replay_tier` reads the declaring
+    class's own ``__dict__``, so a subclass that changes behaviour without
+    re-declaring its tier falls back to the scalar model instead of being
+    silently mis-replayed by the parent's kernel. Wrappers and new policies
+    opt in explicitly (the eligibility registry the fast paths dispatch on).
+    """
+
     def __init__(self):
         self.geometry = None
         self.num_sets = 0
         self.ways = 0
         self.llc = None
+        self._rng_seed: Optional[int] = None
+        self._set_rngs: Dict[int, DeterministicRng] = {}
+
+    @classmethod
+    def replay_tier(cls) -> str:
+        """The replay tier declared *on this exact class* (see REPLAY_TIER)."""
+        return cls.__dict__.get("REPLAY_TIER", REPLAY_SCALAR)
+
+    def set_rng(self, set_index: int) -> DeterministicRng:
+        """Lazily-created independent RNG stream for one set.
+
+        Stochastic policies draw per-set rather than from one global
+        stream so that draw indices depend only on the set's own fill
+        sequence — the property that makes set-partitioned replay exact
+        (DESIGN.md decision 9). Streams are keyed off the policy seed via
+        :func:`derive_seed`, so a whole replay stays reproducible.
+        """
+        if self._rng_seed is None:
+            raise SimulationError(
+                f"policy {self.name} requested a set RNG without a seed"
+            )
+        rng = self._set_rngs.get(set_index)
+        if rng is None:
+            rng = DeterministicRng(derive_seed(self._rng_seed, "set", set_index))
+            self._set_rngs[set_index] = rng
+        return rng
 
     def bind(self, geometry: CacheGeometry) -> None:
         """Size the policy's metadata to ``geometry``.

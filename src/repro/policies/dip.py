@@ -10,8 +10,7 @@ misses, and every other (follower) set adopts the currently winning policy.
 """
 
 from repro.common.errors import ConfigError
-from repro.common.rng import DeterministicRng
-from repro.policies.base import ReplacementPolicy
+from repro.policies.base import REPLAY_DUELING, REPLAY_SET
 from repro.policies.lru import LruPolicy
 
 
@@ -95,20 +94,32 @@ class DuelingController:
 
 
 class BipPolicy(LruPolicy):
-    """Bimodal insertion: LRU insertion except 1/``bip_throttle`` at MRU."""
+    """Bimodal insertion: LRU insertion except 1/``bip_throttle`` at MRU.
+
+    Epsilon draws come from per-set RNG streams (:meth:`set_rng`), so each
+    set's draw sequence depends only on its own fill order — the property
+    that keeps set-partitioned replay exact.
+    """
 
     name = "bip"
+
+    REPLAY_TIER = REPLAY_SET
 
     def __init__(self, seed: int = 0, bip_throttle: int = 32):
         super().__init__()
         if bip_throttle <= 0:
             raise ConfigError(f"bip_throttle must be positive, got {bip_throttle}")
-        self._rng = DeterministicRng(seed)
+        self._rng_seed = seed
         self._throttle = bip_throttle
+
+    @property
+    def throttle(self) -> int:
+        """1-in-``throttle`` fills insert at MRU (read by replay kernels)."""
+        return self._throttle
 
     def on_fill(self, set_index, way, block, pc, core, is_write) -> None:
         stamps = self._stamps[set_index]
-        if self._rng.randrange(self._throttle) == 0:
+        if self.set_rng(set_index).randrange(self._throttle) == 0:
             self._clock += 1
             stamps[way] = self._clock
         else:
@@ -120,14 +131,23 @@ class DipPolicy(LruPolicy):
 
     name = "dip"
 
+    # Sets couple only through PSEL, and only leader sets write it: exact
+    # under the two-phase (leaders, then followers) partitioned replay.
+    REPLAY_TIER = REPLAY_DUELING
+
     def __init__(self, seed: int = 0, bip_throttle: int = 32,
                  num_leaders_each: int = 32, psel_bits: int = 10):
         super().__init__()
-        self._rng = DeterministicRng(seed)
+        self._rng_seed = seed
         self._throttle = bip_throttle
         self._num_leaders_each = num_leaders_each
         self._psel_bits = psel_bits
         self.duel = None
+
+    @property
+    def throttle(self) -> int:
+        """BIP epsilon of constituent B (read by replay kernels)."""
+        return self._throttle
 
     def bind(self, geometry) -> None:
         super().bind(geometry)
@@ -140,7 +160,7 @@ class DipPolicy(LruPolicy):
         self.duel.record_miss(set_index)
         stamps = self._stamps[set_index]
         use_bip = self.duel.use_policy_b(set_index)
-        if not use_bip or self._rng.randrange(self._throttle) == 0:
+        if not use_bip or self.set_rng(set_index).randrange(self._throttle) == 0:
             self._clock += 1
             stamps[way] = self._clock
         else:

@@ -6,13 +6,17 @@ all bits except the just-touched information are cleared (the classic
 one-bit approximation of LRU used by several commercial LLCs).
 """
 
-from repro.policies.base import ReplacementPolicy
+from repro.policies.base import REPLAY_SET, ReplacementPolicy
 
 
 class NruPolicy(ReplacementPolicy):
     """One-reference-bit NRU."""
 
     name = "nru"
+
+    # Reference bits never leave their set: exact under set-partitioned
+    # replay.
+    REPLAY_TIER = REPLAY_SET
 
     def bind(self, geometry) -> None:
         super().bind(geometry)
@@ -46,3 +50,21 @@ class NruPolicy(ReplacementPolicy):
         clear = [way for way in range(self.ways) if not bits[way]]
         set_ways = [way for way in range(self.ways) if bits[way]]
         return clear + set_ways
+
+    def introspect(self) -> dict:
+        snapshot = super().introspect()
+        if self.geometry is None:
+            return snapshot
+        total = self.num_sets * self.ways
+        set_bits = sum(sum(bits) for bits in self._ref)
+        histogram = {}
+        for bits in self._ref:
+            count = sum(bits)
+            histogram[count] = histogram.get(count, 0) + 1
+        snapshot["ref_bits_set"] = set_bits
+        snapshot["ref_bits_total"] = total
+        snapshot["ref_bit_fraction"] = set_bits / total if total else 0.0
+        snapshot["sets_by_ref_count"] = {
+            str(k): v for k, v in sorted(histogram.items())
+        }
+        return snapshot

@@ -19,7 +19,7 @@ from typing import Optional, Sequence
 
 from repro.common.errors import SimulationError
 from repro.common.npsupport import require_numpy, should_vectorize
-from repro.policies.base import ReplacementPolicy
+from repro.policies.base import REPLAY_SET, ReplacementPolicy
 
 NO_NEXT_USE = 1 << 62
 """Sentinel next-use position meaning "never accessed again"."""
@@ -102,9 +102,19 @@ class BeladyOptPolicy(ReplacementPolicy):
 
     name = "opt"
 
+    # Per-way next-use positions are indexed by the *global* stream
+    # ordinal, which the set partition preserves per access: exact under
+    # set-partitioned replay.
+    REPLAY_TIER = REPLAY_SET
+
     def __init__(self, next_use: array):
         super().__init__()
         self._next_use = next_use
+
+    @property
+    def next_use(self) -> array:
+        """The precomputed next-use column (read by replay kernels)."""
+        return self._next_use
 
     def bind(self, geometry) -> None:
         super().bind(geometry)
@@ -134,3 +144,19 @@ class BeladyOptPolicy(ReplacementPolicy):
     def rank_victims(self, set_index) -> list:
         nexts = self._way_next[set_index]
         return sorted(range(self.ways), key=lambda way: -nexts[way])
+
+    def introspect(self) -> dict:
+        snapshot = super().introspect()
+        snapshot["stream_length"] = len(self._next_use)
+        never = sum(1 for v in self._next_use if v == NO_NEXT_USE)
+        snapshot["never_reused_accesses"] = never
+        snapshot["never_reused_fraction"] = (
+            never / len(self._next_use) if len(self._next_use) else 0.0
+        )
+        if self.geometry is None:
+            return snapshot
+        resident_never = sum(
+            1 for nexts in self._way_next for v in nexts if v == NO_NEXT_USE
+        )
+        snapshot["resident_never_reused_ways"] = resident_never
+        return snapshot

@@ -1,17 +1,23 @@
 """Random replacement: the zero-information baseline."""
 
-from repro.common.rng import DeterministicRng
-from repro.policies.base import ReplacementPolicy
+from repro.policies.base import REPLAY_SET, ReplacementPolicy
 
 
 class RandomPolicy(ReplacementPolicy):
-    """Evicts a uniformly random way; keeps no recency state."""
+    """Evicts a uniformly random way; keeps no recency state.
+
+    Victim draws come from per-set RNG streams (:meth:`set_rng`), so each
+    set's draw sequence depends only on its own eviction order — what makes
+    the set-partitioned replay exact.
+    """
 
     name = "random"
 
+    REPLAY_TIER = REPLAY_SET
+
     def __init__(self, seed: int = 0):
         super().__init__()
-        self._rng = DeterministicRng(seed)
+        self._rng_seed = seed
 
     def on_fill(self, set_index, way, block, pc, core, is_write) -> None:
         pass
@@ -20,9 +26,15 @@ class RandomPolicy(ReplacementPolicy):
         pass
 
     def select_victim(self, set_index) -> int:
-        return self._rng.randrange(self.ways)
+        return self.set_rng(set_index).randrange(self.ways)
 
     def rank_victims(self, set_index) -> list:
         order = list(range(self.ways))
-        self._rng.shuffle(order)
+        self.set_rng(set_index).shuffle(order)
         return order
+
+    def introspect(self) -> dict:
+        snapshot = super().introspect()
+        snapshot["seed"] = self._rng_seed
+        snapshot["set_rng_streams"] = len(self._set_rngs)
+        return snapshot

@@ -8,8 +8,7 @@ for a 1-in-32 fraction at ``max - 1``; DRRIP set-duels the two.
 """
 
 from repro.common.errors import ConfigError
-from repro.common.rng import DeterministicRng
-from repro.policies.base import ReplacementPolicy
+from repro.policies.base import REPLAY_DUELING, REPLAY_SET, ReplacementPolicy
 from repro.policies.dip import DuelingController
 
 
@@ -17,6 +16,10 @@ class SrripPolicy(ReplacementPolicy):
     """Static RRIP with hit-priority promotion."""
 
     name = "srrip"
+
+    # RRPVs, aging, and victim choice are all per-set state: exact under
+    # set-partitioned replay.
+    REPLAY_TIER = REPLAY_SET
 
     def __init__(self, rrpv_bits: int = 2):
         super().__init__()
@@ -77,17 +80,29 @@ class SrripPolicy(ReplacementPolicy):
 
 
 class BrripPolicy(SrripPolicy):
-    """Bimodal RRIP: distant insertion except 1/``throttle`` long."""
+    """Bimodal RRIP: distant insertion except 1/``throttle`` long.
+
+    Throttle draws come from per-set RNG streams (:meth:`set_rng`), so each
+    set's draw sequence depends only on its own fill order — what makes the
+    set-partitioned replay exact.
+    """
 
     name = "brrip"
 
+    REPLAY_TIER = REPLAY_SET
+
     def __init__(self, seed: int = 0, rrpv_bits: int = 2, throttle: int = 32):
         super().__init__(rrpv_bits)
-        self._rng = DeterministicRng(seed)
+        self._rng_seed = seed
         self._throttle = throttle
 
+    @property
+    def throttle(self) -> int:
+        """1-in-``throttle`` fills insert long (read by replay kernels)."""
+        return self._throttle
+
     def insertion_rrpv(self, set_index: int) -> int:
-        if self._rng.randrange(self._throttle) == 0:
+        if self.set_rng(set_index).randrange(self._throttle) == 0:
             return self.rrpv_max - 1
         return self.rrpv_max
 
@@ -97,14 +112,23 @@ class DrripPolicy(SrripPolicy):
 
     name = "drrip"
 
+    # Sets couple only through PSEL, and only leader sets write it: exact
+    # under the two-phase (leaders, then followers) partitioned replay.
+    REPLAY_TIER = REPLAY_DUELING
+
     def __init__(self, seed: int = 0, rrpv_bits: int = 2, throttle: int = 32,
                  num_leaders_each: int = 32, psel_bits: int = 10):
         super().__init__(rrpv_bits)
-        self._rng = DeterministicRng(seed)
+        self._rng_seed = seed
         self._throttle = throttle
         self._num_leaders_each = num_leaders_each
         self._psel_bits = psel_bits
         self.duel = None
+
+    @property
+    def throttle(self) -> int:
+        """BRRIP epsilon of constituent B (read by replay kernels)."""
+        return self._throttle
 
     def bind(self, geometry) -> None:
         super().bind(geometry)
@@ -114,7 +138,7 @@ class DrripPolicy(SrripPolicy):
 
     def insertion_rrpv(self, set_index: int) -> int:
         if self.duel.use_policy_b(set_index):
-            if self._rng.randrange(self._throttle) == 0:
+            if self.set_rng(set_index).randrange(self._throttle) == 0:
                 return self.rrpv_max - 1
             return self.rrpv_max
         return self.rrpv_max - 1

@@ -14,7 +14,16 @@ once and excluded):
 * ``warm_replay_lru_fastpath`` — the exact stack-distance fast path.
 * ``warm_replay_lru_scalar``   — the scalar cache model, plain LRU. The
   **golden cell**: baseline denominator of the overhead gate.
-* ``warm_replay_srrip``        — a representative non-LRU scalar replay.
+* ``warm_replay_srrip`` / ``warm_replay_drrip`` — the set-partitioned
+  tiers (``set`` and ``dueling``) on their default auto gate, each with
+  a ``_scalar`` twin forced through the scalar model. The CI smoke gate
+  bounds each pair's speedup from below
+  (:data:`SETPATH_GATE_PAIRS` / ``--min-setpath-speedup``): the
+  partitioned kernels are bit-identical to the scalar model, so a cell
+  that stops being *faster* than its twin has silently fallen back.
+* ``warm_replay_ship``         — SHiP is scalar-tier by design (globally
+  coupled SHCT); this cell tracks the fallback price and demonstrably
+  stays at scalar throughput.
 * ``probed_disabled``          — the golden cell executed through
   :func:`repro.sim.probes.run_probed_replay` with an **empty** probe list;
   its ratio to the golden cell is the disabled-probe overhead.
@@ -63,6 +72,12 @@ OVERHEAD_CELL = "probed_disabled"
 
 REPLAY_PROBES = ("sets", "evictions", "sharing", "reuse")
 """The fastpath-safe probe set the full-probe cells attach."""
+
+SETPATH_GATE_PAIRS = {
+    "warm_replay_srrip": "warm_replay_srrip_scalar",
+    "warm_replay_drrip": "warm_replay_drrip_scalar",
+}
+"""Set-partitioned cell -> its forced-scalar twin (speedup gate pairs)."""
 
 GATE_PAIR_MIN_REPEATS = 9
 """Minimum samples for the golden/probed overhead pair (see module doc)."""
@@ -118,6 +133,10 @@ def bench_cells(context, workload: str, repeats: int) -> Dict[str, Dict]:
         "warm_replay_lru_fastpath": replay("lru", True),
         GOLDEN_CELL: replay("lru", False),
         "warm_replay_srrip": replay("srrip", None),
+        "warm_replay_srrip_scalar": replay("srrip", False),
+        "warm_replay_drrip": replay("drrip", None),
+        "warm_replay_drrip_scalar": replay("drrip", False),
+        "warm_replay_ship": replay("ship", None),
         OVERHEAD_CELL: probed((), False),
         "probed_full_fastpath": probed(REPLAY_PROBES, True),
         "probed_full_scalar": probed(REPLAY_PROBES, False),
@@ -166,6 +185,21 @@ def disabled_probe_overhead(cells: Dict[str, Dict]) -> float:
     golden = cells[GOLDEN_CELL]["min_sec"]
     probed = cells[OVERHEAD_CELL]["min_sec"]
     return ratio(probed, golden) - 1.0 if golden else 0.0
+
+
+def setpath_speedups(cells: Dict[str, Dict]) -> Dict[str, float]:
+    """Min-wall speedup of each set-partitioned cell over its scalar twin.
+
+    Keyed by the fast cell's name; the CI smoke gate fails when any value
+    drops below ``--min-setpath-speedup`` (a partitioned replay that is
+    no faster than its bit-identical scalar twin has silently fallen
+    back to the scalar model).
+    """
+    return {
+        fast: ratio(cells[twin]["min_sec"], cells[fast]["min_sec"])
+        for fast, twin in SETPATH_GATE_PAIRS.items()
+        if fast in cells and twin in cells
+    }
 
 
 def previous_bench(out_dir: Path, rev: str) -> Optional[Dict]:
@@ -217,6 +251,7 @@ def run_bench(
         "numpy_available": HAVE_NUMPY,
         "cells": cells,
         "disabled_probe_overhead": overhead,
+        "setpath_speedups": setpath_speedups(cells),
         "golden_cell": GOLDEN_CELL,
         "overhead_cell": OVERHEAD_CELL,
     }

@@ -72,6 +72,6 @@ class LlcOnlySimulator:
             "span", stage="replay", policy=result.policy,
             stream=result.stream_name, wall_sec=round(elapsed, 6),
             accesses=result.accesses, hits=result.hits,
-            misses=result.misses, fastpath=False,
+            misses=result.misses, fastpath=False, tier=result.tier,
         )
         return result

@@ -395,7 +395,9 @@ class ExperimentContext:
                 fastpath=self.fastpath,
             )
         if include_opt:
-            results["opt"] = run_opt(artifacts.stream, self.geometry)
+            results["opt"] = run_opt(
+                artifacts.stream, self.geometry, fastpath=self.fastpath
+            )
         return PolicyComparison(stream_name=artifacts.stream.name, results=results)
 
     def oracle_study(

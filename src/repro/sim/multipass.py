@@ -16,16 +16,11 @@ from repro.cache.stream import LlcStream
 from repro.common.config import CacheGeometry, MachineConfig
 from repro.common.rng import derive_seed
 from repro.policies.base import ReplacementPolicy
-from repro.sim import telemetry
 from repro.policies.opt import BeladyOptPolicy, compute_next_use
 from repro.policies.registry import make_policy
 from repro.sim.engine import LlcOnlySimulator
-from repro.sim.fastpath import (
-    fastpath_eligible,
-    fastpath_enabled,
-    replay_lru_fastpath,
-)
 from repro.sim.results import LlcSimResult
+from repro.sim.setpath import try_fast_replay
 from repro.trace.trace import Trace
 
 
@@ -62,19 +57,20 @@ def run_policy_on_stream(
 ) -> LlcSimResult:
     """Replay ``stream`` under a policy given by name or instance.
 
-    Plain ``"lru"`` replays take the exact stack-distance fast path
-    (bit-identical results, see :mod:`repro.sim.fastpath`) unless
-    ``fastpath`` is False or ``REPRO_SIM_NO_FASTPATH`` is set; policy
-    instances and every other policy replay through the scalar model.
+    Replays route through the fastest exact replay tier the policy
+    declares (:func:`repro.sim.setpath.try_fast_replay`): plain LRU takes
+    the stack-distance path, the per-set policy matrix (LIP/BIP/NRU/
+    SRRIP/BRRIP/random) the set-partitioned kernels, and DIP/DRRIP the
+    two-phase dueling reconstruction — all bit-identical to the scalar
+    model. Scalar-tier policies (SHiP, wrappers, bound instances), or any
+    replay with ``fastpath`` False / ``REPRO_SIM_NO_FASTPATH`` set, go
+    through the scalar model.
     """
-    if fastpath_eligible(policy) and fastpath_enabled(fastpath):
-        result = replay_lru_fastpath(stream, geometry, observers=observers)
-        telemetry.emit(
-            "span", stage="replay", policy=result.policy,
-            stream=result.stream_name, wall_sec=round(result.elapsed_sec, 6),
-            accesses=result.accesses, hits=result.hits,
-            misses=result.misses, fastpath=True,
-        )
+    result = try_fast_replay(
+        stream, geometry, policy, seed=seed, observers=observers,
+        fastpath=fastpath,
+    )
+    if result is not None:
         return result
     if isinstance(policy, str):
         policy = make_policy(policy, seed=derive_seed(seed, "replay", policy))
@@ -86,9 +82,20 @@ def run_opt(
     stream: LlcStream,
     geometry: CacheGeometry,
     observers: Tuple = (),
+    fastpath: Optional[bool] = None,
 ) -> LlcSimResult:
-    """Replay ``stream`` under Belady's OPT (offline optimal)."""
+    """Replay ``stream`` under Belady's OPT (offline optimal).
+
+    OPT's per-way next-use positions are indexed by the global stream
+    ordinal, which the set partition preserves, so the replay takes the
+    set-partitioned engine unless fast paths are disabled.
+    """
     next_use = compute_next_use(stream.blocks)
     policy = BeladyOptPolicy(next_use)
+    result = try_fast_replay(
+        stream, geometry, policy, observers=observers, fastpath=fastpath
+    )
+    if result is not None:
+        return result
     simulator = LlcOnlySimulator(geometry, policy, observers=observers)
     return simulator.run(stream)

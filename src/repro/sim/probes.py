@@ -13,12 +13,16 @@ is built around three cost rules:
 2. **Fastpath-compatible or scalar-only — provably.** Every probe declares
    ``fastpath_safe``. Safe probes produce **bit-identical** summaries
    whether the replay ran through the scalar :class:`SharedLlc` model or
-   the exact stack-distance LRU fast path (either because they consume only
-   :class:`ResidencyObserver` callbacks, which the fast path replays
-   exactly, or because they reconstruct their state from the
-   :class:`LruReplayReconstruction` walk). Unsafe probes (policy-internal
-   ones like PSEL/SHCT/RRPV samplers) force the scalar tier for the whole
-   replay. ``tests/sim/test_probes.py`` holds the differential proof.
+   one of the exact fast tiers — the stack-distance LRU fast path
+   (``"stack"``) or the set-partitioned kernels (``"set"``/``"dueling"``)
+   — either because they consume only :class:`ResidencyObserver`
+   callbacks, which every fast tier replays exactly, or because they
+   reconstruct their state from a canonical-LRU
+   :class:`LruReplayReconstruction` walk of the stream (a
+   policy-independent model, so it serves every tier). Unsafe probes
+   (policy-internal ones like PSEL/SHCT/RRPV samplers) force the scalar
+   tier for the whole replay. ``tests/sim/test_probes.py`` holds the
+   differential proof.
 3. **Picklable summaries.** :class:`ProbeReport` crosses process
    boundaries (the parallel engine's ``inspect`` cells) and lands on disk
    under telemetry run directories, so everything in it is plain data.
@@ -61,14 +65,15 @@ from repro.common.stats import RunningStats, ratio
 from repro.policies.registry import make_policy
 from repro.sim import telemetry
 from repro.sim.engine import LlcOnlySimulator
+from repro.policies.base import REPLAY_SCALAR, REPLAY_STACK
 from repro.sim.fastpath import (
     LruReplayReconstruction,
     _replay_observers,
-    fastpath_eligible,
     fastpath_enabled,
     reconstruct_lru_replay,
 )
 from repro.sim.results import LlcSimResult
+from repro.sim.setpath import reconstruct_setpath_replay, setpath_tier_of
 
 PROBE_FORMAT_VERSION = 1
 """Bump when the on-disk shape of :meth:`ProbeReport.as_dict` changes."""
@@ -703,17 +708,27 @@ def run_probed_replay(
 ) -> ProbeReport:
     """Replay ``stream`` under ``policy_name`` with probes attached.
 
-    Tier selection: the LRU fast path engages only when the policy is
-    eligible, the gate allows it, **and every probe is fastpath-safe** —
-    one scalar-only probe forces the whole replay scalar (probes are never
-    silently degraded). Hit/miss counts are bit-identical either way, and
-    match :func:`repro.sim.multipass.run_policy_on_stream` for the same
-    ``(policy_name, seed)`` (identical seed derivation).
+    Tier selection: the declared replay tier of the policy
+    (:func:`repro.sim.setpath.setpath_tier_of`) engages only when the gate
+    allows it **and every probe is fastpath-safe** — one scalar-only probe
+    forces the whole replay scalar (probes are never silently degraded).
+    The report's ``tier`` is the tier that actually ran: ``"stack"`` (LRU
+    stack-distance fast path), ``"set"`` / ``"dueling"`` (set-partitioned
+    kernels), or ``"scalar"``. Hit/miss counts are bit-identical across
+    tiers, and match :func:`repro.sim.multipass.run_policy_on_stream` for
+    the same ``(policy_name, seed)`` (identical seed derivation).
+
+    Access probes stay policy-independent on the fast tiers: the reuse
+    probe models canonical per-set LRU stacks of the *stream*, so on the
+    set/dueling tiers it consumes a separate
+    :func:`reconstruct_lru_replay` walk (the policy walk's distances are
+    degenerate hit/miss markers), timed under ``profile["reuse_model"]``.
 
     ``profile`` in the returned report carries per-stage wall times from
-    the replay profiler (stack walk / reconstruction / observer replay on
-    the fast path; replay loop / flush on the scalar path), plus
-    per-probe fast-path consumption times and ``total``.
+    the replay profiler (stack walk or partition/set kernels /
+    reconstruction / observer replay on the fast tiers; replay loop /
+    flush on the scalar path), plus per-probe fast-path consumption times
+    and ``total``.
     """
     probes = resolve_probes(probes)
     for probe in probes:
@@ -724,28 +739,42 @@ def run_probed_replay(
             )
     profile: Dict = {}
     observers = tuple(p for p in probes if isinstance(p, ResidencyObserver))
-    use_fast = (
-        fastpath_eligible(policy_name)
-        and fastpath_enabled(fastpath)
-        and all(p.fastpath_safe for p in probes)
-    )
+    tier = REPLAY_SCALAR
+    if fastpath_enabled(fastpath) and all(p.fastpath_safe for p in probes):
+        tier = setpath_tier_of(policy_name)
     start = perf_counter()
-    if use_fast:
-        tier = "fastpath"
+    if tier != REPLAY_SCALAR:
         policy_state = None
         for probe in probes:
             probe.bind(geometry, None)
-        walk = reconstruct_lru_replay(
-            stream, geometry, use_numpy=use_numpy, profile=profile
-        )
+        if tier == REPLAY_STACK:
+            walk = reconstruct_lru_replay(
+                stream, geometry, use_numpy=use_numpy, profile=profile
+            )
+            lru_walk = walk
+        else:
+            policy = make_policy(
+                policy_name, seed=derive_seed(seed, "replay", policy_name)
+            )
+            walk = reconstruct_setpath_replay(
+                stream, geometry, policy,
+                use_numpy=use_numpy, profile=profile,
+            )
+            lru_walk = None
         if observers:
             phase_start = perf_counter()
             _replay_observers(walk, stream, observers)
             profile["observer_replay"] = perf_counter() - phase_start
         for probe in probes:
             if probe.wants_access_events:
+                if lru_walk is None:
+                    phase_start = perf_counter()
+                    lru_walk = reconstruct_lru_replay(
+                        stream, geometry, use_numpy=use_numpy
+                    )
+                    profile["reuse_model"] = perf_counter() - phase_start
                 phase_start = perf_counter()
-                probe.consume_fastpath(walk, stream, geometry)
+                probe.consume_fastpath(lru_walk, stream, geometry)
                 profile[f"probe_{probe.name}"] = perf_counter() - phase_start
         result = LlcSimResult(
             policy=policy_name,
@@ -754,9 +783,9 @@ def run_probed_replay(
             hits=walk.hits,
             misses=walk.misses,
             elapsed_sec=perf_counter() - start,
+            tier=tier,
         )
     else:
-        tier = "scalar"
         policy = make_policy(
             policy_name, seed=derive_seed(seed, "replay", policy_name)
         )

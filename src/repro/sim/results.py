@@ -13,6 +13,10 @@ class LlcSimResult:
     ``elapsed_sec``/``accesses_per_sec`` report replay throughput; they are
     excluded from equality so that determinism checks (bit-identical
     results across serial and parallel runs) compare outcomes, not clocks.
+    ``tier`` records which replay engine produced the result (one of
+    :data:`repro.policies.base.REPLAY_TIERS`); it too is excluded from
+    equality — the whole point of the differential suite is that tiers
+    agree on everything else.
     """
 
     policy: str
@@ -21,6 +25,7 @@ class LlcSimResult:
     hits: int
     misses: int
     elapsed_sec: float = field(default=0.0, compare=False, repr=False)
+    tier: str = field(default="scalar", compare=False)
 
     @property
     def accesses_per_sec(self) -> float:
@@ -56,6 +61,7 @@ class LlcSimResult:
             "hits": self.hits,
             "misses": self.misses,
             "miss_ratio": self.miss_ratio,
+            "tier": self.tier,
         }
 
 

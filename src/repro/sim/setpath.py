@@ -1,0 +1,1367 @@
+"""Exact set-partitioned replay for per-set replacement policies.
+
+The scalar :class:`repro.cache.llc.SharedLlc` walk is exact for every
+policy but pays full model overhead per access. The stack-distance fast
+path (:mod:`repro.sim.fastpath`) removes that overhead for plain LRU only.
+This module covers the rest of the policy matrix by exploiting a weaker
+structural property than Mattson inclusion: for most policies the sets of
+a set-associative cache are **independent state machines**. RRPV vectors,
+recency stamps, NRU reference bits, per-way next-use values — all of it is
+per-set state, read and written only by accesses mapping to that set. The
+replay therefore decomposes exactly:
+
+1. **Partition** — bucket the recorded stream by set index in one
+   vectorized pass (stable ``argsort`` over ``block & (num_sets-1)``, with
+   a pure-Python twin), keeping each access's global position.
+2. **Per-set kernels** — replay each set's subsequence under a compact
+   array-state kernel (RRPV list for SRRIP/BRRIP, ordered recency list for
+   the LRU/LIP/BIP family, reference bits for NRU, next-use values for
+   OPT). Kernels are bit-exact transcriptions of the scalar policies,
+   including RNG draw order: stochastic policies draw from per-set streams
+   (:meth:`repro.policies.base.ReplacementPolicy.set_rng`), so a set's
+   draw indices depend only on its own fill sequence. Count-mode SRRIP
+   goes one step further: it is deterministic, so all sets advance in
+   lockstep through one synchronous numpy kernel over a padded
+   set-by-position block matrix (:func:`_count_rrip_sync`).
+3. **Two-phase dueling** (DIP/DRRIP) — sets couple only through the PSEL
+   counter, and only leader sets write it. Replay leaders first (their
+   behaviour is role-based, never PSEL-dependent), merge their miss
+   positions into the exact PSEL time-series, then replay followers
+   reading the reconstructed winner flag at each fill position.
+
+Policies with genuinely global state — SHiP's SHCT is trained by every
+set's fills, hits, and evictions — have no exact decomposition and stay on
+the scalar model (tier ``scalar``); DESIGN.md decision 9 has the argument.
+
+Observer-carrying replays additionally record the residency skeleton
+(fills, evictions, way assignments) per set and stitch it back into global
+fill order, reusing the fast path's metadata reconstruction and observer
+replay verbatim — observers see exactly the callback sequence the scalar
+model would have produced.
+
+:func:`try_fast_replay` is the single dispatch point: it resolves the
+effective tier (declared tier ∧ kernel availability), routes ``stack`` to
+the stack-distance path and ``set``/``dueling`` here, and returns ``None``
+for scalar so the caller can fall back to the full model.
+"""
+
+from array import array
+from bisect import bisect_left
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.stream import LlcStream
+from repro.common.config import CacheGeometry
+from repro.common.errors import SimulationError
+from repro.common.npsupport import require_numpy, should_vectorize
+from repro.common.rng import derive_seed
+from repro.policies.base import (
+    REPLAY_DUELING,
+    REPLAY_SCALAR,
+    REPLAY_SET,
+    REPLAY_STACK,
+    ReplacementPolicy,
+)
+from repro.policies.dip import BipPolicy, DipPolicy, DuelingController
+from repro.policies.lru import LipPolicy, LruPolicy
+from repro.policies.nru import NruPolicy
+from repro.policies.opt import NO_NEXT_USE, BeladyOptPolicy
+from repro.policies.random_policy import RandomPolicy
+from repro.policies.registry import POLICY_NAMES, make_policy, policy_class
+from repro.policies.rrip import BrripPolicy, DrripPolicy, SrripPolicy
+from repro.sim import telemetry
+from repro.sim.fastpath import (
+    VECTORIZE_THRESHOLD,
+    LruReplayReconstruction,
+    _reconstruct_numpy,
+    _reconstruct_python,
+    _replay_observers,
+    fastpath_enabled,
+    replay_lru_fastpath,
+    replay_tier_of,
+)
+from repro.sim.results import LlcSimResult
+
+_FAMILY_RECENCY = "recency"
+_FAMILY_RRIP = "rrip"
+_FAMILY_NRU = "nru"
+_FAMILY_RANDOM = "random"
+_FAMILY_OPT = "opt"
+
+_KERNEL_FAMILIES: Dict[type, str] = {
+    LruPolicy: _FAMILY_RECENCY,
+    LipPolicy: _FAMILY_RECENCY,
+    BipPolicy: _FAMILY_RECENCY,
+    DipPolicy: _FAMILY_RECENCY,
+    SrripPolicy: _FAMILY_RRIP,
+    BrripPolicy: _FAMILY_RRIP,
+    DrripPolicy: _FAMILY_RRIP,
+    NruPolicy: _FAMILY_NRU,
+    RandomPolicy: _FAMILY_RANDOM,
+    BeladyOptPolicy: _FAMILY_OPT,
+}
+"""Exact classes a set kernel exists for.
+
+Keyed by exact type, deliberately: a subclass that changed behaviour must
+not ride its parent's kernel (and it already resolves to the scalar tier
+through the non-inheriting :meth:`ReplacementPolicy.replay_tier`, so this
+table is the second of two independent guards).
+"""
+
+# Insertion modes of the recency (stamp-ordered) family.
+_MODE_MRU = 0
+_MODE_LIP = 1
+_MODE_BIP = 2
+
+_RECENCY_MODES = {LruPolicy: _MODE_MRU, LipPolicy: _MODE_LIP, BipPolicy: _MODE_BIP}
+
+
+def setpath_tier_of(policy) -> str:
+    """The *effective* replay tier of a policy name, class, or instance.
+
+    The declared tier (:func:`repro.sim.fastpath.replay_tier_of`) demoted
+    to ``scalar`` when no exact-type kernel exists in
+    :data:`_KERNEL_FAMILIES` — both conditions must hold for the
+    set-partitioned engine to run.
+    """
+    tier = replay_tier_of(policy)
+    if tier not in (REPLAY_SET, REPLAY_DUELING):
+        return tier
+    if isinstance(policy, str):
+        cls = policy_class(policy)
+    elif isinstance(policy, type):
+        cls = policy
+    else:
+        cls = type(policy)
+    if cls is None or cls not in _KERNEL_FAMILIES:
+        return REPLAY_SCALAR
+    return tier
+
+
+def replay_tier_table() -> Dict[str, str]:
+    """Effective replay tier of every registered policy name, plus OPT."""
+    table = {name: setpath_tier_of(name) for name in POLICY_NAMES}
+    table["opt"] = setpath_tier_of(BeladyOptPolicy)
+    return table
+
+
+# ----------------------------------------------------------------------
+# Phase 1: stream partition
+# ----------------------------------------------------------------------
+
+class StreamPartition:
+    """The recorded stream bucketed by set index.
+
+    ``blocks[starts[s]:starts[s+1]]`` is set ``s``'s access subsequence in
+    stream order; ``order`` holds each grouped access's global stream
+    position (``order_np``/``blocks_np`` are the same columns as numpy
+    arrays when the vectorized bucketing built them, else ``None``).
+    """
+
+    __slots__ = (
+        "num_sets", "blocks", "order", "starts", "order_np", "blocks_np",
+    )
+
+
+def partition_stream(
+    blocks,
+    num_sets: int,
+    use_numpy: Optional[bool] = None,
+    profile=None,
+) -> StreamPartition:
+    """Bucket ``blocks`` by ``block & (num_sets - 1)`` preserving order.
+
+    One stable ``argsort`` over the set-index column on the numpy path; a
+    per-set bucket append on the Python twin. Both produce identical
+    grouped columns (equivalence-tested).
+    """
+    n = len(blocks)
+    part = StreamPartition()
+    part.num_sets = num_sets
+    start = perf_counter()
+    if should_vectorize(use_numpy, n, VECTORIZE_THRESHOLD):
+        np = require_numpy()
+        if isinstance(blocks, array) and blocks.typecode == "q":
+            column = np.frombuffer(blocks, dtype=np.int64)
+        else:
+            column = np.asarray(blocks, dtype=np.int64)
+        sets = column & (num_sets - 1)
+        order_np = np.argsort(sets, kind="stable")
+        counts = np.bincount(sets, minlength=num_sets)
+        starts = np.zeros(num_sets + 1, dtype=np.int64)
+        np.cumsum(counts, out=starts[1:])
+        grouped = column[order_np]
+        part.blocks = grouped.tolist()
+        part.order = order_np.tolist()
+        part.starts = starts.tolist()
+        part.order_np = order_np
+        part.blocks_np = grouped
+        kernel = "numpy"
+    else:
+        mask = num_sets - 1
+        buckets: List[List[int]] = [[] for __ in range(num_sets)]
+        for i, block in enumerate(blocks):
+            buckets[block & mask].append(i)
+        order: List[int] = []
+        starts = [0]
+        for bucket in buckets:
+            order.extend(bucket)
+            starts.append(len(order))
+        part.blocks = [blocks[i] for i in order]
+        part.order = order
+        part.starts = starts
+        part.order_np = None
+        part.blocks_np = None
+        kernel = "python"
+    if profile is not None:
+        profile["partition"] = perf_counter() - start
+        profile["partition_kernel"] = kernel
+    return part
+
+
+# ----------------------------------------------------------------------
+# Phase 2a: count kernels (classification only, no residency skeleton)
+# ----------------------------------------------------------------------
+
+def _count_rrip(seg, ways, rmax, rng, throttle) -> int:
+    """SRRIP (``rng`` None) / BRRIP count kernel for one set."""
+    way_of = {}
+    blk = [0] * ways
+    rrpv = [rmax] * ways
+    filled = 0
+    hits = 0
+    get = way_of.get
+    for block in seg:
+        way = get(block)
+        if way is not None:
+            rrpv[way] = 0
+            hits += 1
+            continue
+        if filled < ways:
+            way = filled
+            filled += 1
+        else:
+            top = max(rrpv)
+            if top != rmax:
+                # Aging: the scalar +1-all rounds until some way reaches
+                # rmax add the same delta to every way.
+                delta = rmax - top
+                for w in range(ways):
+                    rrpv[w] += delta
+            way = rrpv.index(rmax)
+            del way_of[blk[way]]
+        if rng is None or rng.randrange(throttle) == 0:
+            rrpv[way] = rmax - 1
+        else:
+            rrpv[way] = rmax
+        blk[way] = block
+        way_of[block] = way
+    return hits
+
+
+def _count_rrip_sync(part: StreamPartition, ways: int, rmax: int) -> int:
+    """Synchronous vectorized SRRIP count kernel: all sets step together.
+
+    SRRIP is deterministic (no RNG draws), so its per-set recurrence can
+    run as one numpy computation over a padded ``(num_sets, longest_set)``
+    block matrix: step ``i`` processes every set's ``i``-th access at
+    once. State is a resident-block matrix and an RRPV matrix; hit
+    detection is an equality broadcast, the +1-until-saturated aging
+    rounds collapse to one per-row delta (same algebra as
+    :func:`_count_rrip`), and the victim is each row's first RRPV-max way.
+    Per-access Python overhead amortizes across all sets, which is where
+    the set tier's headroom over the per-set list kernels comes from.
+
+    Padding uses ``-1`` (block addresses are non-negative) and the
+    resident matrix also initializes to ``-1``; ``active`` masks padded
+    lanes out of hit detection so a padded ``-1`` can never "hit" a
+    still-cold way, and misses are masked the same way so padded lanes
+    never fill.
+    """
+    np = require_numpy()
+    starts = np.asarray(part.starts, dtype=np.int64)
+    lens = np.diff(starts)
+    if len(lens) == 0 or part.blocks_np is None:
+        return 0
+    maxlen = int(lens.max())
+    num_sets = part.num_sets
+    seg = np.full((num_sets, maxlen), -1, dtype=np.int64)
+    col = np.arange(maxlen)
+    # Row-major boolean fill matches per-set order because blocks_np is
+    # grouped by set with each set's subsequence in stream order.
+    seg[col[None, :] < lens[:, None]] = part.blocks_np
+    blk = np.full((num_sets, ways), -1, dtype=np.int64)
+    rrpv = np.full((num_sets, ways), rmax, dtype=np.int64)
+    filled = np.zeros(num_sets, dtype=np.int64)
+    rows = np.arange(num_sets)
+    hits = 0
+    for i in range(maxlen):
+        b = seg[:, i]
+        active = b >= 0
+        match = blk == b[:, None]
+        is_hit = match.any(axis=1) & active
+        hit_rows = rows[is_hit]
+        if hit_rows.size:
+            hit_ways = match[is_hit].argmax(axis=1)
+            rrpv[hit_rows, hit_ways] = 0
+            hits += hit_rows.size
+        miss = active & ~is_hit
+        if not miss.any():
+            continue
+        miss_rows = rows[miss]
+        fill_count = filled[miss_rows]
+        cold = fill_count < ways
+        way = np.empty(miss_rows.size, dtype=np.int64)
+        way[cold] = fill_count[cold]
+        filled[miss_rows[cold]] += 1
+        full_rows = miss_rows[~cold]
+        if full_rows.size:
+            sub = rrpv[full_rows]
+            top = sub.max(axis=1)
+            sub += (rmax - top)[:, None]
+            way[~cold] = (sub == rmax).argmax(axis=1)
+            rrpv[full_rows] = sub
+        rrpv[miss_rows, way] = rmax - 1
+        blk[miss_rows, way] = b[miss_rows]
+    return hits
+
+
+def _count_rrip_roles(seg, pos, ways, rmax, bimodal, rng, throttle,
+                      use_b, fills) -> int:
+    """DRRIP leader/follower count kernel for one set.
+
+    Leaders pass ``use_b=None`` (``bimodal`` fixes the role: False = SRRIP
+    constituent A, True = BRRIP constituent B) and a ``fills`` list that
+    receives every miss's global position. Followers pass the per-access
+    ``use_b`` flags reconstructed from the PSEL series.
+    """
+    way_of = {}
+    blk = [0] * ways
+    rrpv = [rmax] * ways
+    filled = 0
+    hits = 0
+    get = way_of.get
+    for idx in range(len(seg)):
+        block = seg[idx]
+        way = get(block)
+        if way is not None:
+            rrpv[way] = 0
+            hits += 1
+            continue
+        if fills is not None:
+            fills.append(pos[idx])
+        if filled < ways:
+            way = filled
+            filled += 1
+        else:
+            top = max(rrpv)
+            if top != rmax:
+                delta = rmax - top
+                for w in range(ways):
+                    rrpv[w] += delta
+            way = rrpv.index(rmax)
+            del way_of[blk[way]]
+        b = bimodal if use_b is None else use_b[idx]
+        if not b or rng.randrange(throttle) == 0:
+            rrpv[way] = rmax - 1
+        else:
+            rrpv[way] = rmax
+        blk[way] = block
+        way_of[block] = way
+    return hits
+
+
+def _count_recency(seg, ways, mode, rng, throttle) -> int:
+    """LRU/LIP/BIP count kernel: residents kept in LRU→MRU stamp order."""
+    st: List[int] = []
+    hits = 0
+    for block in seg:
+        if block in st:
+            st.remove(block)
+            st.append(block)
+            hits += 1
+            continue
+        if len(st) == ways:
+            del st[0]
+        if mode == _MODE_MRU:
+            st.append(block)
+        elif mode == _MODE_LIP:
+            st.insert(0, block)
+        elif rng.randrange(throttle) == 0:
+            st.append(block)
+        else:
+            st.insert(0, block)
+    return hits
+
+
+def _count_recency_roles(seg, pos, ways, mode, rng, throttle,
+                         use_b, fills) -> int:
+    """DIP leader/follower count kernel (see :func:`_count_rrip_roles`)."""
+    st: List[int] = []
+    hits = 0
+    for idx in range(len(seg)):
+        block = seg[idx]
+        if block in st:
+            st.remove(block)
+            st.append(block)
+            hits += 1
+            continue
+        if fills is not None:
+            fills.append(pos[idx])
+        if len(st) == ways:
+            del st[0]
+        m = mode if use_b is None else (_MODE_BIP if use_b[idx] else _MODE_MRU)
+        if m == _MODE_MRU:
+            st.append(block)
+        elif m == _MODE_LIP:
+            st.insert(0, block)
+        elif rng.randrange(throttle) == 0:
+            st.append(block)
+        else:
+            st.insert(0, block)
+    return hits
+
+
+def _count_nru(seg, ways) -> int:
+    """NRU count kernel: one reference bit per way."""
+    way_of = {}
+    blk = [0] * ways
+    bits = [0] * ways
+    filled = 0
+    hits = 0
+    get = way_of.get
+    for block in seg:
+        way = get(block)
+        if way is not None:
+            hits += 1
+        else:
+            if filled < ways:
+                way = filled
+                filled += 1
+            else:
+                # At ways == 1 the touch rule keeps the single bit set, so
+                # no clear way exists; mirror the scalar model's way-0
+                # fallback (unreachable for ways >= 2).
+                way = bits.index(0) if 0 in bits else 0
+                del way_of[blk[way]]
+            blk[way] = block
+            way_of[block] = way
+        bits[way] = 1
+        if 0 not in bits:
+            for i in range(ways):
+                bits[i] = 0
+            bits[way] = 1
+    return hits
+
+
+def _count_random(seg, ways, rng) -> int:
+    """Random count kernel: the per-set stream draws once per eviction."""
+    way_of = {}
+    blk = [0] * ways
+    filled = 0
+    hits = 0
+    get = way_of.get
+    for block in seg:
+        way = get(block)
+        if way is not None:
+            hits += 1
+            continue
+        if filled < ways:
+            way = filled
+            filled += 1
+        else:
+            way = rng.randrange(ways)
+            del way_of[blk[way]]
+        blk[way] = block
+        way_of[block] = way
+    return hits
+
+
+def _count_opt(seg, seg_next, ways) -> int:
+    """Belady OPT count kernel over the set's gathered next-use values."""
+    way_of = {}
+    blk = [0] * ways
+    nxt = [NO_NEXT_USE] * ways
+    filled = 0
+    hits = 0
+    get = way_of.get
+    for block, next_pos in zip(seg, seg_next):
+        way = get(block)
+        if way is not None:
+            nxt[way] = next_pos
+            hits += 1
+            continue
+        if filled < ways:
+            way = filled
+            filled += 1
+        else:
+            way = nxt.index(max(nxt))
+            del way_of[blk[way]]
+        nxt[way] = next_pos
+        blk[way] = block
+        way_of[block] = way
+    return hits
+
+
+# ----------------------------------------------------------------------
+# Phase 2b: walk kernels (classification + residency skeleton recording)
+# ----------------------------------------------------------------------
+
+class _WalkBuf:
+    """Skeleton accumulator shared by every set's walk kernel.
+
+    Residency ids here are *concat ids*: assigned in set-processing order,
+    remapped to global fill order by :func:`_assemble_walk`. The per-access
+    ``distances``/``rids`` columns are indexed by global position directly
+    (each set writes only its own positions); distances use the degenerate
+    hit/miss encoding (0 for hits, ``ways`` for misses) — non-LRU policies
+    have no stack distance, and nothing downstream of the walk reads more
+    than the hit/miss classification.
+    """
+
+    __slots__ = ("n", "distances", "rids", "res_block", "res_fill",
+                 "res_end", "res_way", "evicted", "live", "counter")
+
+    def __init__(self, n: int):
+        self.n = n
+        self.distances = array("i", bytes(4 * n))
+        self.rids = array("q", bytes(8 * n))
+        self.res_block: List[int] = []
+        self.res_fill: List[int] = []
+        self.res_end: List[int] = []
+        self.res_way: List[int] = []
+        self.evicted: List[int] = []
+        self.live: List[Tuple[int, int, int]] = []
+        self.counter = 0
+
+
+def _walk_rrip(seg, pos, ways, rmax, bimodal, rng, throttle, use_b, fills,
+               buf, set_index) -> int:
+    """RRIP walk kernel: plain (``use_b``/``fills`` None), leader, follower."""
+    distances = buf.distances
+    rids = buf.rids
+    res_end = buf.res_end
+    evicted = buf.evicted
+    counter = buf.counter
+    way_of = {}
+    id_of = {}
+    blk = [0] * ways
+    rrpv = [rmax] * ways
+    filled = 0
+    hits = 0
+    get = way_of.get
+    for idx in range(len(seg)):
+        block = seg[idx]
+        p = pos[idx]
+        way = get(block)
+        if way is not None:
+            rrpv[way] = 0
+            distances[p] = 0
+            rids[p] = id_of[block]
+            hits += 1
+            continue
+        distances[p] = ways
+        if fills is not None:
+            fills.append(p)
+        new_id = counter
+        counter += 1
+        if filled < ways:
+            way = filled
+            filled += 1
+            evicted.append(-1)
+        else:
+            top = max(rrpv)
+            if top != rmax:
+                delta = rmax - top
+                for w in range(ways):
+                    rrpv[w] += delta
+            way = rrpv.index(rmax)
+            victim = blk[way]
+            vid = id_of.pop(victim)
+            del way_of[victim]
+            res_end[vid] = p
+            evicted.append(vid)
+        b = bimodal if use_b is None else use_b[idx]
+        if not b or (rng is not None and rng.randrange(throttle) == 0):
+            rrpv[way] = rmax - 1
+        else:
+            rrpv[way] = rmax
+        blk[way] = block
+        way_of[block] = way
+        id_of[block] = new_id
+        buf.res_block.append(block)
+        buf.res_fill.append(p)
+        res_end.append(-1)
+        buf.res_way.append(way)
+        rids[p] = new_id
+    buf.counter = counter
+    live = buf.live
+    for w in range(filled):
+        live.append((set_index, w, id_of[blk[w]]))
+    return hits
+
+
+def _walk_recency(seg, pos, ways, mode, rng, throttle, use_b, fills,
+                  buf, set_index) -> int:
+    """Recency-family walk kernel: plain LRU/LIP/BIP, DIP leader, follower."""
+    distances = buf.distances
+    rids = buf.rids
+    res_end = buf.res_end
+    evicted = buf.evicted
+    counter = buf.counter
+    st: List[int] = []
+    way_of = {}
+    id_of = {}
+    blk = [0] * ways
+    hits = 0
+    for idx in range(len(seg)):
+        block = seg[idx]
+        p = pos[idx]
+        rid = id_of.get(block)
+        if rid is not None:
+            st.remove(block)
+            st.append(block)
+            distances[p] = 0
+            rids[p] = rid
+            hits += 1
+            continue
+        distances[p] = ways
+        if fills is not None:
+            fills.append(p)
+        new_id = counter
+        counter += 1
+        if len(st) == ways:
+            victim = st.pop(0)
+            vid = id_of.pop(victim)
+            way = way_of.pop(victim)
+            res_end[vid] = p
+            evicted.append(vid)
+        else:
+            way = len(st)
+            evicted.append(-1)
+        m = mode if use_b is None else (_MODE_BIP if use_b[idx] else _MODE_MRU)
+        if m == _MODE_MRU:
+            st.append(block)
+        elif m == _MODE_LIP:
+            st.insert(0, block)
+        elif rng.randrange(throttle) == 0:
+            st.append(block)
+        else:
+            st.insert(0, block)
+        way_of[block] = way
+        id_of[block] = new_id
+        blk[way] = block
+        buf.res_block.append(block)
+        buf.res_fill.append(p)
+        res_end.append(-1)
+        buf.res_way.append(way)
+        rids[p] = new_id
+    buf.counter = counter
+    live = buf.live
+    for w in range(len(st)):
+        live.append((set_index, w, id_of[blk[w]]))
+    return hits
+
+
+def _walk_nru(seg, pos, ways, buf, set_index) -> int:
+    """NRU walk kernel."""
+    distances = buf.distances
+    rids = buf.rids
+    res_end = buf.res_end
+    evicted = buf.evicted
+    counter = buf.counter
+    way_of = {}
+    id_of = {}
+    blk = [0] * ways
+    bits = [0] * ways
+    filled = 0
+    hits = 0
+    get = way_of.get
+    for idx in range(len(seg)):
+        block = seg[idx]
+        p = pos[idx]
+        way = get(block)
+        if way is not None:
+            distances[p] = 0
+            rids[p] = id_of[block]
+            hits += 1
+        else:
+            distances[p] = ways
+            new_id = counter
+            counter += 1
+            if filled < ways:
+                way = filled
+                filled += 1
+                evicted.append(-1)
+            else:
+                # ways == 1: no clear bit exists; scalar falls back to 0.
+                way = bits.index(0) if 0 in bits else 0
+                victim = blk[way]
+                vid = id_of.pop(victim)
+                del way_of[victim]
+                res_end[vid] = p
+                evicted.append(vid)
+            blk[way] = block
+            way_of[block] = way
+            id_of[block] = new_id
+            buf.res_block.append(block)
+            buf.res_fill.append(p)
+            res_end.append(-1)
+            buf.res_way.append(way)
+            rids[p] = new_id
+        bits[way] = 1
+        if 0 not in bits:
+            for i in range(ways):
+                bits[i] = 0
+            bits[way] = 1
+    buf.counter = counter
+    live = buf.live
+    for w in range(filled):
+        live.append((set_index, w, id_of[blk[w]]))
+    return hits
+
+
+def _walk_random(seg, pos, ways, rng, buf, set_index) -> int:
+    """Random walk kernel."""
+    distances = buf.distances
+    rids = buf.rids
+    res_end = buf.res_end
+    evicted = buf.evicted
+    counter = buf.counter
+    way_of = {}
+    id_of = {}
+    blk = [0] * ways
+    filled = 0
+    hits = 0
+    get = way_of.get
+    for idx in range(len(seg)):
+        block = seg[idx]
+        p = pos[idx]
+        way = get(block)
+        if way is not None:
+            distances[p] = 0
+            rids[p] = id_of[block]
+            hits += 1
+            continue
+        distances[p] = ways
+        new_id = counter
+        counter += 1
+        if filled < ways:
+            way = filled
+            filled += 1
+            evicted.append(-1)
+        else:
+            way = rng.randrange(ways)
+            victim = blk[way]
+            vid = id_of.pop(victim)
+            del way_of[victim]
+            res_end[vid] = p
+            evicted.append(vid)
+        blk[way] = block
+        way_of[block] = way
+        id_of[block] = new_id
+        buf.res_block.append(block)
+        buf.res_fill.append(p)
+        res_end.append(-1)
+        buf.res_way.append(way)
+        rids[p] = new_id
+    buf.counter = counter
+    live = buf.live
+    for w in range(filled):
+        live.append((set_index, w, id_of[blk[w]]))
+    return hits
+
+
+def _walk_opt(seg, seg_next, pos, ways, buf, set_index) -> int:
+    """Belady OPT walk kernel."""
+    distances = buf.distances
+    rids = buf.rids
+    res_end = buf.res_end
+    evicted = buf.evicted
+    counter = buf.counter
+    way_of = {}
+    id_of = {}
+    blk = [0] * ways
+    nxt = [NO_NEXT_USE] * ways
+    filled = 0
+    hits = 0
+    get = way_of.get
+    for idx in range(len(seg)):
+        block = seg[idx]
+        p = pos[idx]
+        way = get(block)
+        if way is not None:
+            nxt[way] = seg_next[idx]
+            distances[p] = 0
+            rids[p] = id_of[block]
+            hits += 1
+            continue
+        distances[p] = ways
+        new_id = counter
+        counter += 1
+        if filled < ways:
+            way = filled
+            filled += 1
+            evicted.append(-1)
+        else:
+            way = nxt.index(max(nxt))
+            victim = blk[way]
+            vid = id_of.pop(victim)
+            del way_of[victim]
+            res_end[vid] = p
+            evicted.append(vid)
+        nxt[way] = seg_next[idx]
+        blk[way] = block
+        way_of[block] = way
+        id_of[block] = new_id
+        buf.res_block.append(block)
+        buf.res_fill.append(p)
+        res_end.append(-1)
+        buf.res_way.append(way)
+        rids[p] = new_id
+    buf.counter = counter
+    live = buf.live
+    for w in range(filled):
+        live.append((set_index, w, id_of[blk[w]]))
+    return hits
+
+
+# ----------------------------------------------------------------------
+# Phase 2c: two-phase dueling (PSEL time-series reconstruction)
+# ----------------------------------------------------------------------
+
+def _psel_steps(a_fills, b_fills, duel, use_np: bool):
+    """Merge leader miss positions into the exact PSEL time-series.
+
+    Returns ``(positions, values, flags)``: the sorted global positions of
+    every leader miss (the only events that move PSEL), the PSEL value
+    after each event (``values[0]``/``flags[0]`` describe the initial
+    state, so both have one more entry than ``positions``), and the
+    follower decision ``psel >= threshold`` after each event. The
+    saturating walk itself stays scalar — saturation breaks ``cumsum`` —
+    but the event merge vectorizes.
+    """
+    if use_np and (a_fills or b_fills):
+        np = require_numpy()
+        pos_np = np.asarray(a_fills + b_fills, dtype=np.int64)
+        delta_np = np.ones(len(pos_np), dtype=np.int64)
+        delta_np[len(a_fills):] = -1
+        # Fill positions are unique (one access per position), so the
+        # unstable default sort is deterministic here.
+        order = np.argsort(pos_np)
+        positions = pos_np[order].tolist()
+        deltas = delta_np[order].tolist()
+    else:
+        events = sorted(
+            [(p, 1) for p in a_fills] + [(p, -1) for p in b_fills]
+        )
+        positions = [p for p, __ in events]
+        deltas = [d for __, d in events]
+    psel = duel.psel
+    psel_max = duel.psel_max
+    threshold = duel.threshold
+    values = [psel]
+    flags = [psel >= threshold]
+    for delta in deltas:
+        if delta > 0:
+            if psel < psel_max:
+                psel += 1
+        elif psel > 0:
+            psel -= 1
+        values.append(psel)
+        flags.append(psel >= threshold)
+    return positions, values, flags
+
+
+def _make_flag_lookup(positions, flags, part: StreamPartition, use_np: bool):
+    """Per-set follower-decision gather: ``lookup(lo, hi) -> [bool, ...]``.
+
+    The flag for an access at global position ``p`` is the PSEL decision
+    after every leader-miss event strictly before ``p`` — exactly what the
+    scalar model reads at that access's fill (a follower's own miss never
+    moves PSEL).
+    """
+    if use_np and part.order_np is not None:
+        np = require_numpy()
+        pos_np = np.asarray(positions, dtype=np.int64)
+        flags_np = np.asarray(flags, dtype=bool)
+
+        def lookup(lo: int, hi: int) -> List[bool]:
+            idx = np.searchsorted(pos_np, part.order_np[lo:hi], side="left")
+            return flags_np[idx].tolist()
+    else:
+        order = part.order
+
+        def lookup(lo: int, hi: int) -> List[bool]:
+            return [flags[bisect_left(positions, p)] for p in order[lo:hi]]
+
+    return lookup
+
+
+def _leader_pass(part: StreamPartition, geometry: CacheGeometry,
+                 policy, buf: Optional[_WalkBuf]):
+    """Replay every leader set; classify followers for the second phase.
+
+    Returns ``(hits, a_fills, b_fills, followers)`` where the fill lists
+    hold the global positions of every miss in A- and B-leader sets.
+    """
+    ways = geometry.ways
+    starts = part.starts
+    blocks = part.blocks
+    order = part.order
+    duel = policy.duel
+    throttle = policy.throttle
+    family = _KERNEL_FAMILIES[type(policy)]
+    hits = 0
+    a_fills: List[int] = []
+    b_fills: List[int] = []
+    followers: List[int] = []
+    for s in range(part.num_sets):
+        role = duel.role(s)
+        if role == DuelingController.FOLLOWER:
+            followers.append(s)
+            continue
+        lo, hi = starts[s], starts[s + 1]
+        if lo == hi:
+            continue
+        seg = blocks[lo:hi]
+        pos = order[lo:hi]
+        is_b = role == DuelingController.LEADER_B
+        rng = policy.set_rng(s) if is_b else None
+        fills = b_fills if is_b else a_fills
+        if family == _FAMILY_RRIP:
+            rmax = policy.rrpv_max
+            if buf is None:
+                hits += _count_rrip_roles(
+                    seg, pos, ways, rmax, is_b, rng, throttle, None, fills
+                )
+            else:
+                hits += _walk_rrip(
+                    seg, pos, ways, rmax, is_b, rng, throttle, None, fills,
+                    buf, s,
+                )
+        else:
+            mode = _MODE_BIP if is_b else _MODE_MRU
+            if buf is None:
+                hits += _count_recency_roles(
+                    seg, pos, ways, mode, rng, throttle, None, fills
+                )
+            else:
+                hits += _walk_recency(
+                    seg, pos, ways, mode, rng, throttle, None, fills, buf, s
+                )
+    return hits, a_fills, b_fills, followers
+
+
+def _follower_pass(part: StreamPartition, geometry: CacheGeometry,
+                   policy, buf: Optional[_WalkBuf], lookup,
+                   followers: List[int]) -> int:
+    """Replay every follower set against the reconstructed PSEL flags."""
+    ways = geometry.ways
+    starts = part.starts
+    blocks = part.blocks
+    order = part.order
+    throttle = policy.throttle
+    family = _KERNEL_FAMILIES[type(policy)]
+    hits = 0
+    for s in followers:
+        lo, hi = starts[s], starts[s + 1]
+        if lo == hi:
+            continue
+        seg = blocks[lo:hi]
+        pos = order[lo:hi]
+        use_b = lookup(lo, hi)
+        rng = policy.set_rng(s)
+        if family == _FAMILY_RRIP:
+            rmax = policy.rrpv_max
+            if buf is None:
+                hits += _count_rrip_roles(
+                    seg, pos, ways, rmax, False, rng, throttle, use_b, None
+                )
+            else:
+                hits += _walk_rrip(
+                    seg, pos, ways, rmax, False, rng, throttle, use_b, None,
+                    buf, s,
+                )
+        else:
+            if buf is None:
+                hits += _count_recency_roles(
+                    seg, pos, ways, _MODE_MRU, rng, throttle, use_b, None
+                )
+            else:
+                hits += _walk_recency(
+                    seg, pos, ways, _MODE_MRU, rng, throttle, use_b, None,
+                    buf, s,
+                )
+    return hits
+
+
+def _gather_next_use(next_use, part: StreamPartition, use_np: bool):
+    """Group the precomputed next-use column by the partition order."""
+    if use_np and part.order_np is not None:
+        np = require_numpy()
+        if isinstance(next_use, array) and next_use.typecode == "q":
+            column = np.frombuffer(next_use, dtype=np.int64)
+        else:
+            column = np.asarray(next_use, dtype=np.int64)
+        return column[part.order_np].tolist()
+    return [next_use[p] for p in part.order]
+
+
+def _plain_pass(part: StreamPartition, geometry: CacheGeometry,
+                policy, buf: Optional[_WalkBuf], use_np: bool) -> int:
+    """Replay every set of a non-dueling per-set policy."""
+    ways = geometry.ways
+    starts = part.starts
+    blocks = part.blocks
+    order = part.order
+    cls = type(policy)
+    family = _KERNEL_FAMILIES[cls]
+    if (
+        buf is None and use_np and part.blocks_np is not None
+        and cls is SrripPolicy
+    ):
+        # Count-mode SRRIP has a fully synchronous vectorized kernel (no
+        # RNG, no residency skeleton to record); BRRIP's per-set draws
+        # and walk mode stay on the per-set kernels.
+        return _count_rrip_sync(part, ways, policy.rrpv_max)
+    hits = 0
+    if family == _FAMILY_OPT:
+        next_use = policy.next_use
+        if len(next_use) != len(blocks):
+            raise SimulationError(
+                f"OPT replayed against a mismatched stream: next-use column "
+                f"has {len(next_use)} entries for {len(blocks)} accesses"
+            )
+        grouped_next = _gather_next_use(next_use, part, use_np)
+    for s in range(part.num_sets):
+        lo, hi = starts[s], starts[s + 1]
+        if lo == hi:
+            continue
+        seg = blocks[lo:hi]
+        if family == _FAMILY_RRIP:
+            rmax = policy.rrpv_max
+            bimodal = cls is BrripPolicy
+            rng = policy.set_rng(s) if bimodal else None
+            throttle = policy.throttle if bimodal else 0
+            if buf is None:
+                hits += _count_rrip(seg, ways, rmax, rng, throttle)
+            else:
+                hits += _walk_rrip(
+                    seg, order[lo:hi], ways, rmax, bimodal, rng, throttle,
+                    None, None, buf, s,
+                )
+        elif family == _FAMILY_RECENCY:
+            mode = _RECENCY_MODES[cls]
+            rng = policy.set_rng(s) if mode == _MODE_BIP else None
+            throttle = policy.throttle if mode == _MODE_BIP else 0
+            if buf is None:
+                hits += _count_recency(seg, ways, mode, rng, throttle)
+            else:
+                hits += _walk_recency(
+                    seg, order[lo:hi], ways, mode, rng, throttle, None, None,
+                    buf, s,
+                )
+        elif family == _FAMILY_NRU:
+            if buf is None:
+                hits += _count_nru(seg, ways)
+            else:
+                hits += _walk_nru(seg, order[lo:hi], ways, buf, s)
+        elif family == _FAMILY_RANDOM:
+            rng = policy.set_rng(s)
+            if buf is None:
+                hits += _count_random(seg, ways, rng)
+            else:
+                hits += _walk_random(seg, order[lo:hi], ways, rng, buf, s)
+        else:  # _FAMILY_OPT
+            seg_next = grouped_next[lo:hi]
+            if buf is None:
+                hits += _count_opt(seg, seg_next, ways)
+            else:
+                hits += _walk_opt(seg, seg_next, order[lo:hi], ways, buf, s)
+    return hits
+
+
+def _run_partitioned(part: StreamPartition, geometry: CacheGeometry,
+                     policy, buf: Optional[_WalkBuf], use_np: bool,
+                     profile=None) -> int:
+    """Replay every set (count mode when ``buf`` is None); returns hits."""
+    start = perf_counter()
+    if type(policy) in (DipPolicy, DrripPolicy):
+        hits, a_fills, b_fills, followers = _leader_pass(
+            part, geometry, policy, buf
+        )
+        psel_start = perf_counter()
+        positions, __, flags = _psel_steps(
+            a_fills, b_fills, policy.duel, use_np
+        )
+        lookup = _make_flag_lookup(positions, flags, part, use_np)
+        if profile is not None:
+            profile["psel_series"] = perf_counter() - psel_start
+        hits += _follower_pass(part, geometry, policy, buf, lookup, followers)
+    else:
+        hits = _plain_pass(part, geometry, policy, buf, use_np)
+    if profile is not None:
+        profile["set_kernels"] = perf_counter() - start
+    return hits
+
+
+def reconstruct_psel_series(
+    stream: LlcStream,
+    geometry: CacheGeometry,
+    policy,
+    use_numpy: Optional[bool] = None,
+) -> Tuple[List[int], List[int]]:
+    """The exact PSEL time-series of a dueling replay, from leaders alone.
+
+    ``policy`` is an unbound :class:`DipPolicy`/:class:`DrripPolicy`
+    instance. Returns ``(positions, values)``: the sorted global stream
+    positions of every leader miss, and the PSEL value after each —
+    ``values[0]`` is the initial PSEL, so ``len(values) ==
+    len(positions) + 1``. ``values[bisect_right(positions, p)]`` is the
+    PSEL the scalar model holds after processing the access at position
+    ``p`` (the differential suite checks this against a scalar PSEL probe).
+    """
+    if setpath_tier_of(policy) != REPLAY_DUELING:
+        raise SimulationError(
+            f"policy {getattr(policy, 'name', policy)!r} is not a dueling "
+            f"policy; no PSEL series exists"
+        )
+    use_np = should_vectorize(use_numpy, len(stream.blocks), VECTORIZE_THRESHOLD)
+    part = partition_stream(stream.blocks, geometry.num_sets, use_numpy=use_np)
+    policy.bind(geometry)
+    __, a_fills, b_fills, ___ = _leader_pass(part, geometry, policy, None)
+    positions, values, ____ = _psel_steps(a_fills, b_fills, policy.duel, use_np)
+    return positions, values
+
+
+# ----------------------------------------------------------------------
+# Phase 3: walk assembly (concat ids → global fill order) + replay
+# ----------------------------------------------------------------------
+
+class SetReplayReconstruction(LruReplayReconstruction):
+    """A set-partitioned replay's walk, in the fast path's layout.
+
+    Identical field contract to :class:`LruReplayReconstruction` — so the
+    metadata reconstruction and observer replay are reused verbatim — with
+    one deliberate difference: ``distances`` carry only the degenerate
+    hit/miss encoding (0 for hits, ``ways`` for misses). Non-LRU policies
+    have no stack distance; consumers that need true reuse distances (the
+    reuse probe) must build a canonical LRU walk separately.
+    """
+
+    __slots__ = ()
+
+
+def _assemble_walk(buf: _WalkBuf, stream: LlcStream,
+                   geometry: CacheGeometry, use_np: bool,
+                   profile=None) -> SetReplayReconstruction:
+    """Stitch per-set skeletons into a global fill-ordered walk."""
+    start = perf_counter()
+    walk = SetReplayReconstruction()
+    n = buf.n
+    count = buf.counter
+    buf.live.sort()
+    if use_np and count:
+        np = require_numpy()
+        fill_np = np.asarray(buf.res_fill, dtype=np.int64)
+        perm = np.argsort(fill_np)  # fill positions are unique
+        inv = np.empty(count, dtype=np.int64)
+        inv[perm] = np.arange(count, dtype=np.int64)
+        walk.res_block = np.asarray(buf.res_block, dtype=np.int64)[perm].tolist()
+        walk.res_fill = fill_np[perm].tolist()
+        walk.res_end = np.asarray(buf.res_end, dtype=np.int64)[perm].tolist()
+        walk.res_way = np.asarray(buf.res_way, dtype=np.int64)[perm].tolist()
+        evicted_np = np.asarray(buf.evicted, dtype=np.int64)
+        mapped = np.where(
+            evicted_np >= 0, inv[np.maximum(evicted_np, 0)], np.int64(-1)
+        )
+        walk.evicted_rid = mapped[perm].tolist()
+        rids_np = np.frombuffer(buf.rids, dtype=np.int64)
+        remapped = array("q", bytes(8 * n))
+        np.frombuffer(remapped, dtype=np.int64)[...] = inv[rids_np]
+        walk.rids = remapped
+        walk.live_rids = [int(inv[cid]) for __, ___, cid in buf.live]
+    else:
+        perm = sorted(range(count), key=buf.res_fill.__getitem__)
+        inv = [0] * count
+        for global_rid, concat_rid in enumerate(perm):
+            inv[concat_rid] = global_rid
+        walk.res_block = [buf.res_block[c] for c in perm]
+        walk.res_fill = [buf.res_fill[c] for c in perm]
+        walk.res_end = [buf.res_end[c] for c in perm]
+        walk.res_way = [buf.res_way[c] for c in perm]
+        walk.evicted_rid = [
+            inv[buf.evicted[c]] if buf.evicted[c] >= 0 else -1 for c in perm
+        ]
+        rids = buf.rids
+        for i in range(n):
+            rids[i] = inv[rids[i]]
+        walk.rids = rids
+        walk.live_rids = [inv[cid] for __, ___, cid in buf.live]
+    walk.n = n
+    walk.ways = geometry.ways
+    walk.set_mask = geometry.num_sets - 1
+    walk.distances = buf.distances
+    walk.hits = n - count
+    walk.misses = count
+    walk.evictions = count - len(buf.live)
+    if profile is not None:
+        profile["assemble"] = perf_counter() - start
+        start = perf_counter()
+    kernel = "python"
+    if use_np:
+        if _reconstruct_numpy(walk, stream):
+            kernel = "numpy"
+    if kernel == "python":
+        _reconstruct_python(walk, stream)
+    if profile is not None:
+        profile["reconstruct"] = perf_counter() - start
+        profile["reconstruct_kernel"] = kernel
+    return walk
+
+
+def reconstruct_setpath_replay(
+    stream: LlcStream,
+    geometry: CacheGeometry,
+    policy: ReplacementPolicy,
+    use_numpy: Optional[bool] = None,
+    profile=None,
+) -> SetReplayReconstruction:
+    """Replay ``stream`` under ``policy`` rebuilding the full walk.
+
+    ``policy`` must be an unbound setpath-eligible instance; it is bound
+    here. The returned walk carries the same residency metadata contract
+    as :func:`repro.sim.fastpath.reconstruct_lru_replay` (the probe layer
+    consumes it), with degenerate distances (see
+    :class:`SetReplayReconstruction`).
+    """
+    tier = setpath_tier_of(policy)
+    if tier not in (REPLAY_SET, REPLAY_DUELING):
+        raise SimulationError(
+            f"policy {getattr(policy, 'name', policy)!r} is not "
+            f"setpath-eligible (tier {tier!r})"
+        )
+    n = len(stream.blocks)
+    use_np = should_vectorize(use_numpy, n, VECTORIZE_THRESHOLD)
+    part = partition_stream(
+        stream.blocks, geometry.num_sets, use_numpy=use_np, profile=profile
+    )
+    policy.bind(geometry)
+    buf = _WalkBuf(n)
+    _run_partitioned(part, geometry, policy, buf, use_np, profile=profile)
+    return _assemble_walk(buf, stream, geometry, use_np, profile=profile)
+
+
+def replay_setpath(
+    stream: LlcStream,
+    geometry: CacheGeometry,
+    policy: ReplacementPolicy,
+    observers: Tuple = (),
+    use_numpy: Optional[bool] = None,
+    profile=None,
+) -> LlcSimResult:
+    """Replay ``stream`` under an unbound per-set policy instance.
+
+    Drop-in replacement for
+    ``LlcOnlySimulator(geometry, policy, observers).run(stream)`` for
+    setpath-eligible policies: same hit/miss/eviction counts, same observer
+    callbacks in the same order (equivalence-tested per policy). Without
+    observers the replay is pure classification (count kernels, no
+    skeleton). ``profile``, when a dict, receives per-phase wall times
+    (``partition``, ``set_kernels``, ``psel_series`` for dueling,
+    ``assemble``/``reconstruct``/``observer_replay`` with observers).
+    """
+    start = perf_counter()
+    tier = setpath_tier_of(policy)
+    if tier not in (REPLAY_SET, REPLAY_DUELING):
+        raise SimulationError(
+            f"policy {getattr(policy, 'name', policy)!r} is not "
+            f"setpath-eligible (tier {tier!r})"
+        )
+    n = len(stream.blocks)
+    use_np = should_vectorize(use_numpy, n, VECTORIZE_THRESHOLD)
+    if observers:
+        walk = reconstruct_setpath_replay(
+            stream, geometry, policy, use_numpy=use_numpy, profile=profile
+        )
+        phase_start = perf_counter()
+        _replay_observers(walk, stream, tuple(observers))
+        if profile is not None:
+            profile["observer_replay"] = perf_counter() - phase_start
+        hits, misses = walk.hits, walk.misses
+    else:
+        part = partition_stream(
+            stream.blocks, geometry.num_sets, use_numpy=use_np, profile=profile
+        )
+        policy.bind(geometry)
+        hits = _run_partitioned(part, geometry, policy, None, use_np,
+                                profile=profile)
+        misses = n - hits
+    return LlcSimResult(
+        policy=policy.name,
+        stream_name=stream.name,
+        accesses=n,
+        hits=hits,
+        misses=misses,
+        elapsed_sec=perf_counter() - start,
+        tier=tier,
+    )
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+
+def try_fast_replay(
+    stream: LlcStream,
+    geometry: CacheGeometry,
+    policy,
+    seed: int = 0,
+    observers: Tuple = (),
+    fastpath: Optional[bool] = None,
+    use_numpy: Optional[bool] = None,
+    profile=None,
+) -> Optional[LlcSimResult]:
+    """Replay through the fastest exact tier, or ``None`` for scalar.
+
+    The single dispatch point the replay callers share: resolves the
+    effective tier of ``policy`` (a registered name or an **unbound**
+    instance), routes ``stack`` to the stack-distance path and
+    ``set``/``dueling`` to the set-partitioned engine, and returns ``None``
+    when the policy must go through the scalar model (scalar tier, bound
+    instance, or fast paths disabled) — the caller then falls back.
+
+    ``seed`` feeds the standard ``derive_seed(seed, "replay", name)``
+    stream only when ``policy`` is a name; an instance already carries its
+    own seed, so callers with bespoke seed derivations (the oracle runner,
+    the characterization report) pass instances.
+    """
+    if not fastpath_enabled(fastpath):
+        return None
+    tier = setpath_tier_of(policy)
+    if tier == REPLAY_STACK:
+        result = replay_lru_fastpath(
+            stream, geometry, observers=observers, use_numpy=use_numpy,
+            profile=profile,
+        )
+    elif tier in (REPLAY_SET, REPLAY_DUELING):
+        if isinstance(policy, ReplacementPolicy):
+            instance = policy
+        elif isinstance(policy, str):
+            instance = make_policy(policy, seed=derive_seed(seed, "replay", policy))
+        else:
+            return None
+        result = replay_setpath(
+            stream, geometry, instance, observers=observers,
+            use_numpy=use_numpy, profile=profile,
+        )
+    else:
+        return None
+    telemetry.emit(
+        "span", stage="replay", policy=result.policy,
+        stream=result.stream_name, wall_sec=round(result.elapsed_sec, 6),
+        accesses=result.accesses, hits=result.hits, misses=result.misses,
+        fastpath=True, tier=result.tier,
+    )
+    return result

@@ -29,6 +29,10 @@ EXPECTED_CELLS = {
     "warm_replay_lru_fastpath",
     "warm_replay_lru_scalar",
     "warm_replay_srrip",
+    "warm_replay_srrip_scalar",
+    "warm_replay_drrip",
+    "warm_replay_drrip_scalar",
+    "warm_replay_ship",
     "probed_disabled",
     "probed_full_fastpath",
     "probed_full_scalar",
@@ -124,6 +128,27 @@ class TestHelpers:
 
         assert all(make_probe(name).fastpath_safe for name in REPLAY_PROBES)
 
+    def test_setpath_speedups_are_ratios_of_minima(self):
+        from repro.sim.bench import SETPATH_GATE_PAIRS, setpath_speedups
+
+        cells = {
+            "warm_replay_srrip": {"min_sec": 1.0},
+            "warm_replay_srrip_scalar": {"min_sec": 4.0},
+            "warm_replay_drrip": {"min_sec": 2.0},
+            "warm_replay_drrip_scalar": {"min_sec": 3.0},
+        }
+        speedups = setpath_speedups(cells)
+        assert set(speedups) == set(SETPATH_GATE_PAIRS)
+        assert speedups["warm_replay_srrip"] == pytest.approx(4.0)
+        assert speedups["warm_replay_drrip"] == pytest.approx(1.5)
+
+    def test_setpath_pairs_are_cells(self):
+        from repro.sim.bench import SETPATH_GATE_PAIRS
+
+        for fast, twin in SETPATH_GATE_PAIRS.items():
+            assert fast in EXPECTED_CELLS
+            assert twin in EXPECTED_CELLS
+
 
 class TestCliBench:
     ARGS = ["bench", "--accesses", "2000", "--workload", "swaptions",
@@ -177,3 +202,34 @@ class TestCliBench:
                      "--cache-dir", str(tmp_path / "cache")]) == 1
         err = capsys.readouterr().err
         assert "exceeds" in err
+
+    def test_setpath_speedup_gate_fails_the_command(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        def fake_run_bench(context, workload, repeats, out_dir):
+            return (
+                {"rev": "test", "cells": {}, "target_accesses": 1,
+                 "disabled_probe_overhead": 0.0,
+                 "setpath_speedups": {"warm_replay_srrip": 1.1,
+                                      "warm_replay_drrip": 3.0}},
+                tmp_path / "BENCH_test.json",
+            )
+
+        monkeypatch.setattr("repro.sim.bench.run_bench", fake_run_bench)
+        assert main(["bench", "--min-setpath-speedup", "2.0",
+                     "--cache-dir", str(tmp_path / "cache")]) == 1
+        err = capsys.readouterr().err
+        assert "warm_replay_srrip" in err and "scalar twin" in err
+        # ... and passes when every pair clears the bound.
+        def fake_ok(context, workload, repeats, out_dir):
+            return (
+                {"rev": "test", "cells": {}, "target_accesses": 1,
+                 "disabled_probe_overhead": 0.0,
+                 "setpath_speedups": {"warm_replay_srrip": 2.5,
+                                      "warm_replay_drrip": 3.0}},
+                tmp_path / "BENCH_test.json",
+            )
+
+        monkeypatch.setattr("repro.sim.bench.run_bench", fake_ok)
+        assert main(["bench", "--min-setpath-speedup", "2.0",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0

@@ -235,7 +235,12 @@ class TestGates:
         assert fastpath_eligible("lru")
         assert not fastpath_eligible("lip")
         assert not fastpath_eligible("srrip")
-        assert not fastpath_eligible(LruPolicy())  # instances never qualify
+        # Unbound instances inherit the class's declared tier; a *bound*
+        # instance may carry pre-seeded state and never qualifies.
+        assert fastpath_eligible(LruPolicy())
+        bound = LruPolicy()
+        bound.bind(CacheGeometry(4 * 2 * 64, 2))
+        assert not fastpath_eligible(bound)
 
     def test_enabled_three_state(self, monkeypatch):
         monkeypatch.delenv(FASTPATH_ENV, raising=False)

@@ -103,7 +103,7 @@ class TestTierEquivalence:
         scalar = run_probed_replay(
             stream, small_geometry, "lru", [name], fastpath=False
         )
-        assert fast.tier == "fastpath"
+        assert fast.tier == "stack"
         assert scalar.tier == "scalar"
         assert fast.probes[name] == scalar.probes[name]
         assert (fast.result.hits, fast.result.misses) == (
@@ -144,7 +144,7 @@ class TestTierEquivalence:
         report = run_probed_replay(
             stream, small_geometry, "lru", list(FASTPATH_SAFE)
         )
-        assert report.tier == "fastpath"
+        assert report.tier == "stack"
 
 
 class TestObservationOnly:
