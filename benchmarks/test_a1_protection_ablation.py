@@ -5,11 +5,17 @@ of the oracle's gain comes from victim exemption vs. insertion promotion,
 and how much the budget-based release matters compared to protecting for
 the whole residency ("never" release) or releasing at the first cross-core
 hit ("first-share").
+
+The variant axis is protection-only — it never touches the base replay,
+the fill-sharing log, the horizon derivation, or the stream annotation —
+so the whole grid runs per stream as one
+:func:`repro.oracle.runner.run_oracle_variants` call: one base pass, one
+annotation, one wrapped replay per variant.
 """
 
 from benchmarks.conftest import GEOMETRY_8MB, emit, once
 from repro.analysis.aggregate import amean
-from repro.oracle.runner import run_oracle_study
+from repro.oracle.runner import run_oracle_variants
 
 VARIANTS = [
     ("both/budget", "both", "budget"),
@@ -25,18 +31,18 @@ WORKLOADS = ("streamcluster", "canneal", "dedup", "barnes", "fmm", "radix",
 
 def test_a1_protection_ablation(benchmark, context):
     def build_rows():
-        rows = []
-        for label, mode, release in VARIANTS:
-            reductions = []
-            for name in WORKLOADS:
-                stream = context.artifacts(name).stream
-                study = run_oracle_study(
-                    stream, GEOMETRY_8MB, mode=mode, release=release
-                )
-                reductions.append(study.miss_reduction)
-            rows.append([label, amean(reductions), min(reductions),
-                         max(reductions)])
-        return rows
+        variants = [(mode, release) for __, mode, release in VARIANTS]
+        reductions = [[] for __ in VARIANTS]
+        for name in WORKLOADS:
+            stream = context.artifacts(name).stream
+            studies = run_oracle_variants(stream, GEOMETRY_8MB, variants)
+            for idx, study in enumerate(studies):
+                reductions[idx].append(study.miss_reduction)
+        return [
+            [label, amean(reductions[idx]), min(reductions[idx]),
+             max(reductions[idx])]
+            for idx, (label, __, __release) in enumerate(VARIANTS)
+        ]
 
     rows = once(benchmark, build_rows)
     emit(

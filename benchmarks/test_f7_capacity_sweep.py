@@ -8,13 +8,16 @@ trend — gains grow while capacity approaches the shared working sets, then
 collapse once everything fits and there are no misses left to save.
 
 The recorded streams depend only on the private levels, so one recording
-serves every LLC size.
+serves every LLC size — and the whole capacity grid of one stream runs as
+a single :func:`repro.oracle.runner.run_oracle_study_grid` call, sharing
+every geometry-invariant pass (stream annotations whose effective horizon
+window coincides are computed once per stream).
 """
 
 from benchmarks.conftest import emit, once
 from repro.analysis.aggregate import amean
 from repro.common.config import KB, CacheGeometry
-from repro.oracle.runner import run_oracle_study
+from repro.oracle.runner import run_oracle_study_grid
 
 SWEEP = [
     ("2MB(full)", CacheGeometry(128 * KB // 16 * 16, 16)),   # 128KB scaled
@@ -26,22 +29,25 @@ SWEEP = [
 
 def test_f7_capacity_sweep(benchmark, context):
     def build_rows():
-        rows = []
-        for label, geometry in SWEEP:
-            reductions, miss_ratios = [], []
-            for name in context.workload_list:
-                stream = context.artifacts(name).stream
-                study = run_oracle_study(stream, geometry, base="lru")
-                reductions.append(study.miss_reduction)
-                miss_ratios.append(study.base.miss_ratio)
-            rows.append([
+        geometries = [geometry for __, geometry in SWEEP]
+        reductions = [[] for __ in SWEEP]
+        miss_ratios = [[] for __ in SWEEP]
+        for name in context.workload_list:
+            stream = context.artifacts(name).stream
+            studies = run_oracle_study_grid(stream, geometries, base="lru")
+            for idx, study in enumerate(studies):
+                reductions[idx].append(study.miss_reduction)
+                miss_ratios[idx].append(study.base.miss_ratio)
+        return [
+            [
                 label,
                 geometry.num_blocks,
-                amean(miss_ratios),
-                amean(reductions),
-                max(reductions),
-            ])
-        return rows
+                amean(miss_ratios[idx]),
+                amean(reductions[idx]),
+                max(reductions[idx]),
+            ]
+            for idx, (label, geometry) in enumerate(SWEEP)
+        ]
 
     rows = once(benchmark, build_rows)
     emit(

@@ -9,11 +9,12 @@ import time
 
 from benchmarks.conftest import emit, once
 from repro.cache.hierarchy import CmpHierarchy
-from repro.common.config import PROFILE_NAMES, profile
+from repro.common.config import PROFILE_NAMES, CacheGeometry, profile
 from repro.policies.lru import LruPolicy
 from repro.policies.registry import make_policy
 from repro.sim.engine import LlcOnlySimulator
 from repro.sim.fastpath import replay_lru_fastpath
+from repro.sim.gridpath import replay_lru_grid
 from repro.sim.setpath import replay_setpath
 from repro.workloads.registry import get_workload
 
@@ -78,13 +79,33 @@ def test_t2_simulator_throughput(benchmark, context):
         assert (srrip_setpath.hits, srrip_setpath.misses) == (
             srrip_scalar.hits, srrip_scalar.misses
         )
+
+        # The grid tier: a 4-point LRU associativity/capacity sweep in one
+        # capped stack walk, against four independent fastpath replays
+        # (bit-identical counters; this is the amortisation every
+        # multi-geometry sweep sees through repro.sim.gridpath).
+        llc = context.machine.llc
+        grid_geoms = [
+            CacheGeometry(llc.num_sets * w * llc.block_bytes, w,
+                          llc.block_bytes)
+            for w in (4, 8, 16, 32)
+        ]
+        start = time.perf_counter()
+        grid_cells = replay_lru_grid(stream, grid_geoms)
+        grid_sec = time.perf_counter() - start
+        start = time.perf_counter()
+        percell = [replay_lru_fastpath(stream, g) for g in grid_geoms]
+        percell_sec = time.perf_counter() - start
+        for cell, ref in zip(grid_cells, percell):
+            assert (cell.hits, cell.misses) == (ref.hits, ref.misses)
         return (
             hierarchy_rate, replay.accesses_per_sec, fast.accesses_per_sec,
             srrip_scalar.accesses_per_sec, srrip_setpath.accesses_per_sec,
+            grid_sec, percell_sec,
         )
 
     (hierarchy_rate, replay_rate, fastpath_rate, srrip_rate,
-     setpath_rate) = once(benchmark, run_all)
+     setpath_rate, grid_sec, percell_sec) = once(benchmark, run_all)
     emit(
         "t2_throughput",
         ["metric", "value"],
@@ -96,6 +117,9 @@ def test_t2_simulator_throughput(benchmark, context):
             ["srrip scalar accesses/sec", int(srrip_rate)],
             ["srrip setpath accesses/sec", int(setpath_rate)],
             ["setpath speedup", round(setpath_rate / srrip_rate, 2)],
+            ["lru 4-geometry grid sec", round(grid_sec, 4)],
+            ["lru 4-geometry per-cell sec", round(percell_sec, 4)],
+            ["gridpath speedup", round(percell_sec / grid_sec, 2)],
         ],
         title="[T2b] Simulator throughput",
     )
@@ -103,3 +127,6 @@ def test_t2_simulator_throughput(benchmark, context):
     assert replay_rate > 10_000
     assert fastpath_rate >= 2 * replay_rate
     assert setpath_rate >= 2 * srrip_rate
+    # The acceptance bar of the grid tier: a 4-point LRU capacity sweep in
+    # one walk beats four independent fastpath replays by at least 2x.
+    assert percell_sec >= 2 * grid_sec

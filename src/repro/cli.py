@@ -33,6 +33,7 @@ Examples::
 
 import argparse
 import json
+import math
 import sys
 from contextlib import contextmanager
 from typing import List, Optional
@@ -99,6 +100,47 @@ def _positive_float(text: str) -> float:
     if not value > 0:
         raise argparse.ArgumentTypeError(f"must be positive, got {value}")
     return value
+
+
+def _capacity_multiple(text: str) -> float:
+    """argparse type: a sweep capacity multiple, validated at parse time.
+
+    Multiples must be positive finite powers of two (0.25, 0.5, 1, 2, ...):
+    :func:`repro.sim.parallel.scaled_geometry` snaps the scaled set count to
+    the nearest power of two, so any other multiple would silently land on
+    a different capacity than requested — reject it with a one-line error
+    instead of sweeping a geometry the user did not ask for.
+    """
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
+    if not math.isfinite(value) or value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"capacity multiple must be positive and finite, got {value}"
+        )
+    if 2.0 ** round(math.log2(value)) != value:
+        raise argparse.ArgumentTypeError(
+            f"capacity multiple {value} is not a power of two; the swept "
+            f"geometry would snap to a different capacity (use 0.25, 0.5, "
+            f"1, 2, 4, ...)"
+        )
+    return value
+
+
+class _SizesAction(argparse.Action):
+    """``--sizes`` list action rejecting duplicate multiples up front."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        seen = set()
+        for value in values:
+            if value in seen:
+                parser.error(
+                    f"argument {option_string}: duplicate capacity "
+                    f"multiple {value}"
+                )
+            seen.add(value)
+        setattr(namespace, self.dest, tuple(values))
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -249,8 +291,13 @@ def _telemetry_run(args, command: str, context=None):
 
 
 def _report_failures(failures) -> None:
-    """Surface graceful-mode cell failures on stderr (tables skip them)."""
-    for failure in failures:
+    """Surface graceful-mode cell failures on stderr (tables skip them).
+
+    Grid cells (one ``sweep_grid`` cell spanning every capacity point of a
+    workload) surface the same :class:`CellFailure` in several result
+    slots; report each distinct failure once.
+    """
+    for failure in dict.fromkeys(failures):
         print(
             f"warning: cell ({failure.kind}, {failure.workload}) failed "
             f"after {failure.attempts} attempt(s): "
@@ -389,20 +436,21 @@ def cmd_sweep(args) -> int:
     from repro.analysis.aggregate import amean
     from repro.sim.parallel import scaled_geometry
 
+    factors = args.sizes if getattr(args, "sizes", None) else SWEEP_FACTORS
     context = _context(args)
     with _telemetry_run(args, "sweep", context) as run:
         if run:
             run.update_manifest(policies=[args.base], jobs=args.jobs,
-                                factors=list(SWEEP_FACTORS))
+                                factors=list(factors))
         studies = sweep_many(
-            context, context.workload_list, SWEEP_FACTORS,
+            context, context.workload_list, factors,
             base=args.base, turnovers=args.turnovers, jobs=args.jobs,
             **_run_kwargs(args),
         )
     studies, failures = split_failures(studies)
     _report_failures(failures)
     rows = []
-    for factor in SWEEP_FACTORS:
+    for factor in factors:
         per_workload = [studies[(factor, name)]
                         for name in context.workload_list
                         if (factor, name) in studies]
@@ -647,6 +695,12 @@ def cmd_bench(args) -> int:
             f"{name} {value:.2f}x" for name, value in speedups.items()
         )
         print(f"set-partitioned speedup vs scalar twin: {rendered}")
+    grid_speedups = payload.get("gridpath_speedups") or {}
+    if grid_speedups:
+        rendered = ", ".join(
+            f"{name} {value:.2f}x" for name, value in grid_speedups.items()
+        )
+        print(f"grid-replay speedup vs per-cell twin: {rendered}")
     vs = payload.get("vs_previous")
     if vs:
         print(f"golden throughput vs {vs['rev']}: "
@@ -667,6 +721,16 @@ def cmd_bench(args) -> int:
                     f"error: {name} is only {value:.2f}x its scalar twin "
                     f"(bound {args.min_setpath_speedup:.2f}x) — the "
                     f"set-partitioned tier may have silently fallen back",
+                    file=sys.stderr,
+                )
+                failed = True
+    if args.min_gridpath_speedup is not None:
+        for name, value in grid_speedups.items():
+            if value < args.min_gridpath_speedup:
+                print(
+                    f"error: {name} is only {value:.2f}x its per-cell twin "
+                    f"(bound {args.min_gridpath_speedup:.2f}x) — the grid "
+                    f"replay may have degenerated to independent replays",
                     file=sys.stderr,
                 )
                 failed = True
@@ -808,6 +872,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_argument(p)
     p.add_argument("--base", default="lru", choices=POLICY_NAMES)
     p.add_argument("--turnovers", type=_positive_float, default=1.75)
+    p.add_argument(
+        "--sizes", nargs="+", type=_capacity_multiple, action=_SizesAction,
+        default=None, metavar="X",
+        help="capacity multiples to sweep (positive powers of two, no "
+             f"duplicates; default: {' '.join(str(f) for f in SWEEP_FACTORS)})",
+    )
 
     p = subparsers.add_parser("phases",
                               help="sharing stability and PC ambiguity")
@@ -880,6 +950,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="X",
         help="fail (exit 1) when any set-partitioned cell is less than X "
              "times faster than its forced-scalar twin (CI uses 2.0)",
+    )
+    p.add_argument(
+        "--min-gridpath-speedup", type=_positive_float, default=None,
+        metavar="X",
+        help="fail (exit 1) when the grid-replay cell is less than X "
+             "times faster than its independent per-cell twin (CI uses 2.0)",
     )
 
     p = subparsers.add_parser("cache",

@@ -1,7 +1,8 @@
 """End-to-end oracle studies over one recorded LLC stream."""
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
 
 from repro.cache.stream import LlcStream
 from repro.common.config import CacheGeometry
@@ -43,6 +44,43 @@ capacity, the horizon in accesses grows *super-linearly* with LLC size,
 which is what makes the oracle's gains grow from the 4MB to the 8MB
 configuration (the paper's 6% -> 10%).
 """
+
+
+_ANNOTATION_MEMO: "WeakKeyDictionary" = WeakKeyDictionary()
+"""Per-stream cache of stream annotations, keyed by (horizon, cap).
+
+The policy-free annotation depends on the geometry only through the window
+``horizon_factor * geometry.num_blocks`` (and the saturation cap), so one
+computation serves every sweep cell whose window coincides — in particular
+every A1 variant of one study, and any capacity cells whose factor/horizon
+products collide. Memoized weakly: annotations die with their stream.
+"""
+
+
+def stream_annotation(
+    stream: LlcStream,
+    geometry: CacheGeometry,
+    horizon_factor: int,
+    cap: int = BUDGET_CAP,
+):
+    """Annotation budgets for one (stream, window) pair, computed once.
+
+    Exactly :func:`repro.oracle.annotate.build_stream_annotation`, shared
+    across all callers whose effective window
+    (``horizon_factor * geometry.num_blocks``, ``cap``) matches.
+    """
+    per_stream = _ANNOTATION_MEMO.get(stream)
+    if per_stream is None:
+        per_stream = {}
+        _ANNOTATION_MEMO[stream] = per_stream
+    key = (horizon_factor * geometry.num_blocks, cap)
+    budgets = per_stream.get(key)
+    if budgets is None:
+        budgets = build_stream_annotation(
+            stream, geometry, horizon_factor=horizon_factor, cap=cap
+        )
+        per_stream[key] = budgets
+    return budgets
 
 
 @dataclass(frozen=True)
@@ -102,10 +140,29 @@ def run_oracle_study(
             for other eligible bases (None = auto; the oracle-wrapped
             replay always uses the scalar model).
     """
-    if horizon_turnovers <= 0:
-        raise ConfigError(
-            f"horizon_turnovers must be positive, got {horizon_turnovers}"
-        )
+    return run_oracle_variants(
+        stream, geometry, [(mode, release)], base=base,
+        horizon_turnovers=horizon_turnovers, horizon_factor=horizon_factor,
+        cap=cap, seed=seed, fastpath=fastpath,
+    )[0]
+
+
+def _base_pass(
+    stream: LlcStream,
+    geometry: CacheGeometry,
+    base: str,
+    horizon_turnovers: float,
+    horizon_factor: Optional[int],
+    seed: int,
+    fastpath: Optional[bool],
+) -> Tuple[LlcSimResult, float, int]:
+    """The variant-independent prefix of an oracle study.
+
+    Replays the plain base once (logging realised fill sharing) and derives
+    the retention horizon from its miss ratio. Nothing here depends on the
+    protection mode or release policy, which is what lets a whole A1
+    variant grid share one base pass.
+    """
 
     def fresh_base():
         return make_policy(base, seed=derive_seed(seed, "oracle-base", base))
@@ -130,20 +187,88 @@ def run_oracle_study(
         horizon_factor = max(
             1, min(int(horizon_turnovers / miss_ratio), MAX_HORIZON_FACTOR)
         )
+    return base_result, shared_fill_fraction, horizon_factor
 
-    budgets = build_stream_annotation(
-        stream, geometry, horizon_factor=horizon_factor, cap=cap
-    )
-    wrapper = SharingAwareWrapper(
-        fresh_base(), oracle_hint_source(budgets), mode, release=release
-    )
-    oracle_result = LlcOnlySimulator(geometry, wrapper).run(stream)
 
-    return OracleStudyResult(
-        base=base_result,
-        oracle=oracle_result,
-        shared_fill_fraction=shared_fill_fraction,
-        protected_fills=wrapper.protected_fills,
-        exemptions=wrapper.exemptions_applied,
-        horizon_factor=horizon_factor,
+def run_oracle_variants(
+    stream: LlcStream,
+    geometry: CacheGeometry,
+    variants: Sequence[Tuple[str, str]],
+    base: str = "lru",
+    horizon_turnovers: float = DEFAULT_HORIZON_TURNOVERS,
+    horizon_factor: Optional[int] = None,
+    cap: int = BUDGET_CAP,
+    seed: int = 0,
+    fastpath: Optional[bool] = None,
+) -> List[OracleStudyResult]:
+    """One oracle study per ``(mode, release)`` variant, sharing every
+    variant-independent pass.
+
+    The base replay, the measured fill-sharing fraction, the horizon
+    derivation, and the stream annotation do not depend on the protection
+    variant — only the wrapped oracle replay does. A whole A1-style
+    ablation therefore costs one base pass, one annotation, and one scalar
+    oracle replay per variant, with every cell bit-identical to an
+    independent :func:`run_oracle_study` call. Results align positionally
+    with ``variants``.
+    """
+    if horizon_turnovers <= 0:
+        raise ConfigError(
+            f"horizon_turnovers must be positive, got {horizon_turnovers}"
+        )
+    base_result, shared_fill_fraction, horizon_factor = _base_pass(
+        stream, geometry, base, horizon_turnovers, horizon_factor, seed,
+        fastpath,
     )
+    budgets = stream_annotation(stream, geometry, horizon_factor, cap=cap)
+    studies = []
+    for mode, release in variants:
+        wrapper = SharingAwareWrapper(
+            make_policy(base, seed=derive_seed(seed, "oracle-base", base)),
+            oracle_hint_source(budgets), mode, release=release,
+        )
+        oracle_result = LlcOnlySimulator(geometry, wrapper).run(stream)
+        studies.append(OracleStudyResult(
+            base=base_result,
+            oracle=oracle_result,
+            shared_fill_fraction=shared_fill_fraction,
+            protected_fills=wrapper.protected_fills,
+            exemptions=wrapper.exemptions_applied,
+            horizon_factor=horizon_factor,
+        ))
+    return studies
+
+
+def run_oracle_study_grid(
+    stream: LlcStream,
+    geometries: Sequence[CacheGeometry],
+    base: str = "lru",
+    mode: str = "both",
+    release: str = "budget",
+    horizon_turnovers: float = DEFAULT_HORIZON_TURNOVERS,
+    horizon_factor: Optional[int] = None,
+    cap: int = BUDGET_CAP,
+    seed: int = 0,
+    fastpath: Optional[bool] = None,
+) -> List[OracleStudyResult]:
+    """One oracle study per geometry over a single stream — the F7 grid.
+
+    The per-cell passes that genuinely depend on the geometry (the
+    observer-carrying base replay, the wrapped oracle replay) run per cell;
+    everything geometry-invariant is shared through the per-stream memos —
+    annotations whose effective window coincides
+    (:func:`stream_annotation`) are computed once, and capacity cells that
+    pull OPT comparisons share the stream's next-use column
+    (:func:`repro.sim.multipass.stream_next_use`). Cells are bit-identical
+    to independent :func:`run_oracle_study` calls and align positionally
+    with ``geometries``.
+    """
+    return [
+        run_oracle_study(
+            stream, geometry, base=base, mode=mode, release=release,
+            horizon_turnovers=horizon_turnovers,
+            horizon_factor=horizon_factor, cap=cap, seed=seed,
+            fastpath=fastpath,
+        )
+        for geometry in geometries
+    ]

@@ -33,8 +33,19 @@ REPLAY_DUELING = "dueling"
 REPLAY_SCALAR = "scalar"
 """No exact fast path is known; replay through the scalar cache model."""
 
+REPLAY_GRID = "grid"
+"""Grid replay: one pass amortised across a whole configuration grid.
+
+Never *declared* by a policy — it is an engine tier stamped on results by
+:mod:`repro.sim.gridpath` when a cell's counters came out of a shared
+single-pass walk (stack-distance thresholding across ways, a stacked
+parameter kernel, or a shared set partition) rather than an independent
+replay (see DESIGN.md decision 10).
+"""
+
 REPLAY_TIERS = (REPLAY_STACK, REPLAY_SET, REPLAY_DUELING, REPLAY_SCALAR)
-"""Every replay tier, fastest-first (see DESIGN.md decision 9)."""
+"""Every declarable replay tier, fastest-first (see DESIGN.md decision 9);
+:data:`REPLAY_GRID` is engine-assigned and deliberately absent here."""
 
 
 class ReplacementPolicy(ABC):

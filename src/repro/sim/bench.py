@@ -24,6 +24,15 @@ once and excluded):
 * ``warm_replay_ship``         — SHiP is scalar-tier by design (globally
   coupled SHCT); this cell tracks the fallback price and demonstrably
   stays at scalar throughput.
+* ``warm_sweep_grid`` / ``warm_sweep_grid_percell`` — a whole
+  configuration grid (four-associativity LRU capacity grid plus a
+  four-point SRRIP ``rrpv_bits`` parameter grid) replayed in shared
+  single passes through :mod:`repro.sim.gridpath`, against a twin that
+  replays every cell independently through the per-cell fast paths. The
+  CI smoke gate bounds the pair's speedup from below
+  (:data:`GRIDPATH_GATE_PAIRS` / ``--min-gridpath-speedup``): grid
+  results are bit-identical to per-cell replay, so the only thing that
+  can regress is the sharing itself.
 * ``probed_disabled``          — the golden cell executed through
   :func:`repro.sim.probes.run_probed_replay` with an **empty** probe list;
   its ratio to the golden cell is the disabled-probe overhead.
@@ -51,9 +60,12 @@ from pathlib import Path
 from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
+from repro.common.config import CacheGeometry
 from repro.common.errors import ConfigError
 from repro.common.npsupport import HAVE_NUMPY
 from repro.common.stats import ratio
+from repro.policies.rrip import SrripPolicy
+from repro.sim.gridpath import replay_lru_grid, replay_param_grid
 from repro.sim.multipass import run_policy_on_stream
 from repro.sim.probes import run_probed_replay
 
@@ -78,6 +90,17 @@ SETPATH_GATE_PAIRS = {
     "warm_replay_drrip": "warm_replay_drrip_scalar",
 }
 """Set-partitioned cell -> its forced-scalar twin (speedup gate pairs)."""
+
+GRIDPATH_GATE_PAIRS = {
+    "warm_sweep_grid": "warm_sweep_grid_percell",
+}
+"""Grid-replay cell -> its independent per-cell twin (speedup gate pair)."""
+
+GRID_WAYS = (4, 8, 16, 32)
+"""Associativity axis of the bench LRU capacity grid (fixed set count)."""
+
+GRID_RRPV_BITS = (1, 2, 3, 4)
+"""SRRIP ``rrpv_bits`` axis of the bench parameter grid."""
 
 GATE_PAIR_MIN_REPEATS = 9
 """Minimum samples for the golden/probed overhead pair (see module doc)."""
@@ -129,6 +152,33 @@ def bench_cells(context, workload: str, repeats: int) -> Dict[str, Dict]:
             fastpath=fastpath,
         )
 
+    # The bench grid: the LRU capacity grid walks every associativity of
+    # GRID_WAYS at the context's set count, and the parameter grid steps
+    # every SRRIP rrpv_bits variant at the context geometry. Instances are
+    # rebuilt per run — gridpath requires fresh unbound policies.
+    grid_geoms = [
+        CacheGeometry(geometry.num_sets * w * geometry.block_bytes, w,
+                      geometry.block_bytes)
+        for w in GRID_WAYS
+    ]
+
+    def sweep_grid():
+        replay_lru_grid(stream, grid_geoms)
+        replay_param_grid(
+            stream, geometry,
+            [SrripPolicy(rrpv_bits=b) for b in GRID_RRPV_BITS],
+            fastpath=True,
+        )
+
+    def sweep_grid_percell():
+        for g in grid_geoms:
+            run_policy_on_stream(stream, g, "lru", seed=seed, fastpath=True)
+        for b in GRID_RRPV_BITS:
+            run_policy_on_stream(
+                stream, geometry, SrripPolicy(rrpv_bits=b), seed=seed,
+                fastpath=True,
+            )
+
     cells = {
         "warm_replay_lru_fastpath": replay("lru", True),
         GOLDEN_CELL: replay("lru", False),
@@ -137,6 +187,8 @@ def bench_cells(context, workload: str, repeats: int) -> Dict[str, Dict]:
         "warm_replay_drrip": replay("drrip", None),
         "warm_replay_drrip_scalar": replay("drrip", False),
         "warm_replay_ship": replay("ship", None),
+        "warm_sweep_grid": sweep_grid,
+        "warm_sweep_grid_percell": sweep_grid_percell,
         OVERHEAD_CELL: probed((), False),
         "probed_full_fastpath": probed(REPLAY_PROBES, True),
         "probed_full_scalar": probed(REPLAY_PROBES, False),
@@ -202,6 +254,22 @@ def setpath_speedups(cells: Dict[str, Dict]) -> Dict[str, float]:
     }
 
 
+def gridpath_speedups(cells: Dict[str, Dict]) -> Dict[str, float]:
+    """Min-wall speedup of each grid-replay cell over its per-cell twin.
+
+    Keyed by the grid cell's name; the CI smoke gate fails when any value
+    drops below ``--min-gridpath-speedup`` (the grid pass is bit-identical
+    to per-cell replay, so losing the speedup means the sharing — one
+    capped stack walk per set count, one stacked parameter kernel —
+    silently degenerated to independent replays).
+    """
+    return {
+        fast: ratio(cells[twin]["min_sec"], cells[fast]["min_sec"])
+        for fast, twin in GRIDPATH_GATE_PAIRS.items()
+        if fast in cells and twin in cells
+    }
+
+
 def previous_bench(out_dir: Path, rev: str) -> Optional[Dict]:
     """The most recently written BENCH file of a *different* revision."""
     candidates = [
@@ -252,6 +320,7 @@ def run_bench(
         "cells": cells,
         "disabled_probe_overhead": overhead,
         "setpath_speedups": setpath_speedups(cells),
+        "gridpath_speedups": gridpath_speedups(cells),
         "golden_cell": GOLDEN_CELL,
         "overhead_cell": OVERHEAD_CELL,
     }

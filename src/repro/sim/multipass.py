@@ -10,6 +10,7 @@ The standard experiment pipeline is:
 """
 
 from typing import Optional, Tuple, Union
+from weakref import WeakKeyDictionary
 
 from repro.cache.hierarchy import CmpHierarchy, HierarchyStats
 from repro.cache.stream import LlcStream
@@ -78,6 +79,25 @@ def run_policy_on_stream(
     return simulator.run(stream)
 
 
+_NEXT_USE_MEMO: "WeakKeyDictionary" = WeakKeyDictionary()
+"""Per-stream cache of the OPT next-use column (geometry-independent)."""
+
+
+def stream_next_use(stream: LlcStream):
+    """The stream's next-use column, computed once and shared.
+
+    Next-use positions depend only on the block sequence — never on the
+    geometry or policy — so one computation serves every OPT replay and
+    every sweep cell over the same stream. Memoized weakly: the column
+    dies with its stream.
+    """
+    next_use = _NEXT_USE_MEMO.get(stream)
+    if next_use is None:
+        next_use = compute_next_use(stream.blocks)
+        _NEXT_USE_MEMO[stream] = next_use
+    return next_use
+
+
 def run_opt(
     stream: LlcStream,
     geometry: CacheGeometry,
@@ -88,10 +108,11 @@ def run_opt(
 
     OPT's per-way next-use positions are indexed by the global stream
     ordinal, which the set partition preserves, so the replay takes the
-    set-partitioned engine unless fast paths are disabled.
+    set-partitioned engine unless fast paths are disabled. The next-use
+    column itself is geometry-independent and shared across calls
+    (:func:`stream_next_use`).
     """
-    next_use = compute_next_use(stream.blocks)
-    policy = BeladyOptPolicy(next_use)
+    policy = BeladyOptPolicy(stream_next_use(stream))
     result = try_fast_replay(
         stream, geometry, policy, observers=observers, fastpath=fastpath
     )

@@ -202,6 +202,16 @@ def execute_cell(context, cell: ExperimentCell):
             base=base, horizon_turnovers=turnovers, seed=context.seed,
             fastpath=context.fastpath,
         )
+    if cell.kind == "sweep_grid":
+        from repro.oracle.runner import run_oracle_study_grid
+
+        factors, base, turnovers = cell.params
+        return run_oracle_study_grid(
+            artifacts.stream,
+            [scaled_geometry(context.geometry, factor) for factor in factors],
+            base=base, horizon_turnovers=turnovers, seed=context.seed,
+            fastpath=context.fastpath,
+        )
     if cell.kind == "inspect":
         from repro.sim.probes import inspect_workload
 
@@ -329,6 +339,11 @@ def _run_cells_pool(
     :class:`ProcessPoolExecutor`; the loop absorbs that by rebuilding the
     pool and re-dispatching every unfinished cell, charging one attempt to
     each (the victim cannot be told apart from its queued pool-mates).
+    Every cell implicated in a break is *quarantined*: its retries run
+    solo, so a second crash identifies the true victim unambiguously and
+    an innocent pool-mate cannot be starved by a deterministic crasher —
+    which matters now that grid replay makes cells few and large (a
+    two-workload sweep is two cells, both always in flight together).
     """
     recorder = telemetry.current()
     initargs = (
@@ -352,6 +367,7 @@ def _run_cells_pool(
     attempts = [0] * len(cells)
     not_before = [0.0] * len(cells)  # backoff deadlines
     pending: Dict = {}  # future -> (index, dispatch monotonic time)
+    quarantine: set = set()  # crash-implicated indices; re-dispatched solo
     executor = make_pool()
 
     def fail_or_retry(index: int, error: BaseException) -> None:
@@ -376,7 +392,14 @@ def _run_cells_pool(
                 # Dispatch backoff-ready cells first; if everything queued
                 # is still backing off and nothing is running, just wait
                 # out the nearest deadline.
+                if pending and quarantine.intersection(
+                    idx for idx, __ in pending.values()
+                ):
+                    break  # a quarantined cell runs solo; nothing joins it
                 ready = [i for i in reversed(queue) if not_before[i] <= now]
+                if pending:
+                    # Quarantined cells wait for an idle pool (solo run).
+                    ready = [i for i in ready if i not in quarantine]
                 if not ready:
                     if pending:
                         break
@@ -416,6 +439,7 @@ def _run_cells_pool(
                     )
                 executor.shutdown(wait=False, cancel_futures=True)
                 for future, (index, __) in pending.items():
+                    quarantine.add(index)
                     fail_or_retry(
                         index,
                         SimulationError("worker process died mid-cell"),
@@ -558,19 +582,32 @@ def sweep_many(
     jobs: Optional[int] = 1,
     **run_kwargs,
 ) -> Dict[Tuple[float, str], object]:
-    """Capacity-sweep oracle studies keyed by (factor, workload)."""
+    """Capacity-sweep oracle studies keyed by (factor, workload).
+
+    Each workload is ONE ``sweep_grid`` cell evaluating the whole factor
+    axis in a single pass over its stream
+    (:func:`repro.oracle.runner.run_oracle_study_grid` shares the
+    geometry-invariant passes across capacity points), so parallelism is
+    per-stream rather than per capacity cell. The returned mapping is
+    unchanged: bit-identical studies keyed by ``(factor, workload)`` in the
+    historical order; a failed workload's :class:`CellFailure` occupies
+    every one of its factor slots.
+    """
     workloads = list(workloads)
+    factors = tuple(factors)
     keys = [(factor, name) for factor in factors for name in workloads]
     cells = _sorted_by_workload([
-        ExperimentCell("sweep", name, (factor, base, turnovers))
-        for factor, name in keys
+        ExperimentCell("sweep_grid", name, (factors, base, turnovers))
+        for name in workloads
     ])
     results = run_cells(context, cells, jobs=jobs, **run_kwargs)
-    by_cell = {
-        (cell.params[0], cell.workload): result
-        for cell, result in zip(cells, results)
-    }
-    return {key: by_cell[key] for key in keys}
+    by_workload = {}
+    for cell, result in zip(cells, results):
+        if isinstance(result, CellFailure):
+            by_workload[cell.workload] = {f: result for f in factors}
+        else:
+            by_workload[cell.workload] = dict(zip(factors, result))
+    return {(factor, name): by_workload[name][factor] for factor, name in keys}
 
 
 def inspect_many(

@@ -326,6 +326,99 @@ def _count_rrip_sync(part: StreamPartition, ways: int, rmax: int) -> int:
     return hits
 
 
+def _count_rrip_sync_stacked(
+    part: StreamPartition, ways: int, configs
+) -> List[int]:
+    """Stacked synchronous SRRIP kernel: every parameter variant at once.
+
+    ``configs`` is a sequence of ``(rmax, insertion_rrpv)`` pairs — one per
+    grid variant. State generalizes :func:`_count_rrip_sync` by a leading
+    variant axis flattened into the row dimension: row ``v * num_sets + s``
+    is variant ``v``'s copy of set ``s``. Each step broadcasts the same
+    block column to every variant (``np.tile``); per-row ``rmax``/insertion
+    vectors (``np.repeat`` over the variant axis) parameterize the aging
+    and fill updates; per-variant hits come back from one ``bincount`` over
+    ``row // num_sets``. The per-step Python overhead — the reason a warm
+    parameter sweep used to cost one full replay per variant — is paid once
+    for the whole grid.
+
+    Exactness: variants never interact (disjoint row blocks), so each
+    variant's rows step through exactly the recurrence its own
+    :func:`_count_rrip_sync` run would — the differential suite pins
+    bit-identity per variant.
+
+    Two representation changes keep the stacked step from costing what
+    ``nv`` independent steps would:
+
+    * **Compact block ids** — the kernel only ever compares blocks for
+      equality, so the address column is remapped through ``np.unique``
+      to dense ``int32`` ids once, halving the traffic of the dominant
+      ``(rows, ways)`` comparison.
+    * **Offset-form RRPVs** — the true RRPV of ``(row, way)`` is
+      ``rel[row, way] + off[row]``. The aging rounds on a victimless
+      miss add the same delta to every way of the row, which in offset
+      form is one scatter-add into ``off`` instead of a gather / age /
+      write-back round trip over the row's RRPV vector; hits and
+      insertions store absolute values minus the row offset. ``argmax``
+      over ``rel`` still finds the victim because the offset is uniform
+      within a row.
+    """
+    np = require_numpy()
+    nv = len(configs)
+    starts = np.asarray(part.starts, dtype=np.int64)
+    lens = np.diff(starts)
+    if nv == 0 or len(lens) == 0 or part.blocks_np is None:
+        return [0] * nv
+    maxlen = int(lens.max())
+    num_sets = part.num_sets
+    ids = np.unique(part.blocks_np, return_inverse=True)[1].astype(np.int32)
+    seg = np.full((num_sets, maxlen), -1, dtype=np.int32)
+    col = np.arange(maxlen)
+    seg[col[None, :] < lens[:, None]] = ids
+    total = nv * num_sets
+    rmax_rows = np.repeat(
+        np.asarray([rmax for rmax, __ in configs], dtype=np.int64), num_sets
+    )
+    ins_rows = np.repeat(
+        np.asarray([ins for __, ins in configs], dtype=np.int64), num_sets
+    )
+    blk = np.full((total, ways), -1, dtype=np.int32)
+    rel = np.tile(rmax_rows[:, None], (1, ways))
+    off = np.zeros(total, dtype=np.int64)
+    filled = np.zeros(total, dtype=np.int64)
+    hits = np.zeros(nv, dtype=np.int64)
+    segT = np.tile(seg, (nv, 1)).T.copy()  # (maxlen, total), contiguous rows
+    actT = segT >= 0
+    match = np.empty((total, ways), dtype=bool)
+    for i in range(maxlen):
+        b = segT[i]
+        np.equal(blk, b[:, None], out=match)
+        is_hit = match.any(axis=1)
+        is_hit &= actT[i]
+        hit_rows = np.flatnonzero(is_hit)
+        if hit_rows.size:
+            hit_ways = match.argmax(axis=1)[hit_rows]
+            rel[hit_rows, hit_ways] = -off[hit_rows]
+            hits += is_hit.reshape(nv, num_sets).sum(axis=1)
+        miss_rows = np.flatnonzero(actT[i] ^ is_hit)
+        if not miss_rows.size:
+            continue
+        fill_count = filled[miss_rows]
+        cold = fill_count < ways
+        way = fill_count.copy()
+        filled[miss_rows[cold]] += 1
+        full_rows = miss_rows[~cold]
+        if full_rows.size:
+            sub = rel[full_rows]
+            victim = sub.argmax(axis=1)
+            top = sub[np.arange(full_rows.size), victim] + off[full_rows]
+            off[full_rows] += rmax_rows[full_rows] - top
+            way[~cold] = victim
+        rel[miss_rows, way] = ins_rows[miss_rows] - off[miss_rows]
+        blk[miss_rows, way] = b[miss_rows]
+    return [int(h) for h in hits]
+
+
 def _count_rrip_roles(seg, pos, ways, rmax, bimodal, rng, throttle,
                       use_b, fills) -> int:
     """DRRIP leader/follower count kernel for one set.

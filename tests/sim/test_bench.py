@@ -33,6 +33,8 @@ EXPECTED_CELLS = {
     "warm_replay_drrip",
     "warm_replay_drrip_scalar",
     "warm_replay_ship",
+    "warm_sweep_grid",
+    "warm_sweep_grid_percell",
     "probed_disabled",
     "probed_full_fastpath",
     "probed_full_scalar",
@@ -149,6 +151,24 @@ class TestHelpers:
             assert fast in EXPECTED_CELLS
             assert twin in EXPECTED_CELLS
 
+    def test_gridpath_speedups_are_ratios_of_minima(self):
+        from repro.sim.bench import GRIDPATH_GATE_PAIRS, gridpath_speedups
+
+        cells = {
+            "warm_sweep_grid": {"min_sec": 1.0},
+            "warm_sweep_grid_percell": {"min_sec": 3.0},
+        }
+        speedups = gridpath_speedups(cells)
+        assert set(speedups) == set(GRIDPATH_GATE_PAIRS)
+        assert speedups["warm_sweep_grid"] == pytest.approx(3.0)
+
+    def test_gridpath_pairs_are_cells(self):
+        from repro.sim.bench import GRIDPATH_GATE_PAIRS
+
+        for grid, twin in GRIDPATH_GATE_PAIRS.items():
+            assert grid in EXPECTED_CELLS
+            assert twin in EXPECTED_CELLS
+
 
 class TestCliBench:
     ARGS = ["bench", "--accesses", "2000", "--workload", "swaptions",
@@ -232,4 +252,33 @@ class TestCliBench:
 
         monkeypatch.setattr("repro.sim.bench.run_bench", fake_ok)
         assert main(["bench", "--min-setpath-speedup", "2.0",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+
+    def test_gridpath_speedup_gate_fails_the_command(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        def fake_run_bench(context, workload, repeats, out_dir):
+            return (
+                {"rev": "test", "cells": {}, "target_accesses": 1,
+                 "disabled_probe_overhead": 0.0,
+                 "gridpath_speedups": {"warm_sweep_grid": 1.3}},
+                tmp_path / "BENCH_test.json",
+            )
+
+        monkeypatch.setattr("repro.sim.bench.run_bench", fake_run_bench)
+        assert main(["bench", "--min-gridpath-speedup", "2.0",
+                     "--cache-dir", str(tmp_path / "cache")]) == 1
+        err = capsys.readouterr().err
+        assert "warm_sweep_grid" in err and "per-cell twin" in err
+        # ... and passes when the grid clears the bound.
+        def fake_ok(context, workload, repeats, out_dir):
+            return (
+                {"rev": "test", "cells": {}, "target_accesses": 1,
+                 "disabled_probe_overhead": 0.0,
+                 "gridpath_speedups": {"warm_sweep_grid": 2.4}},
+                tmp_path / "BENCH_test.json",
+            )
+
+        monkeypatch.setattr("repro.sim.bench.run_bench", fake_ok)
+        assert main(["bench", "--min-gridpath-speedup", "2.0",
                      "--cache-dir", str(tmp_path / "cache")]) == 0

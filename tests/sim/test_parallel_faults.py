@@ -168,7 +168,7 @@ class TestParallelGraceful:
             )
 
     def test_raise_in_worker_is_retried_not_fatal(self, tiny_machine, monkeypatch):
-        monkeypatch.setenv(FAULT_ENV, "sweep:fft:raise")
+        monkeypatch.setenv(FAULT_ENV, "sweep_grid:fft:raise")
         studies = sweep_many(
             fresh_context(tiny_machine), WORKLOADS, (0.5, 1.0),
             jobs=2, fail_fast=False, retries=0, backoff=0.0,

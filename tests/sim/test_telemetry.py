@@ -272,12 +272,12 @@ class TestCrashAcceptance:
     def test_graceful_sweep_survives_worker_crash(self, capsys, tmp_path,
                                                   monkeypatch):
         cache = str(tmp_path / "cache")
-        monkeypatch.setenv(FAULT_ENV, "sweep:water:exit")
+        monkeypatch.setenv(FAULT_ENV, "sweep_grid:water:exit")
         assert main(["sweep", *FAST, "--jobs", "2", "--retries", "1",
                      "--cache-dir", cache]) == 0
         captured = capsys.readouterr()
         assert "avg_oracle_red" in captured.out  # partial table rendered
-        assert "warning: cell (sweep, water)" in captured.err
+        assert "warning: cell (sweep_grid, water)" in captured.err
         runs = runs_under(cache)
         manifest = runs[0].manifest
         assert manifest["status"] == "completed_with_failures"
@@ -289,7 +289,7 @@ class TestCrashAcceptance:
     def test_fail_fast_sweep_exits_nonzero(self, capsys, tmp_path,
                                            monkeypatch):
         cache = str(tmp_path / "cache")
-        monkeypatch.setenv(FAULT_ENV, "sweep:water:exit")
+        monkeypatch.setenv(FAULT_ENV, "sweep_grid:water:exit")
         assert main(["sweep", *FAST, "--jobs", "2", "--fail-fast",
                      "--cache-dir", cache]) == 2
         assert "worker process died" in capsys.readouterr().err

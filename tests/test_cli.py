@@ -178,3 +178,38 @@ class TestNewPredictorsInCli:
         out = capsys.readouterr().out
         assert "water/region" in out
         assert "water/lastvalue" in out
+
+
+class TestSweepSizesValidation:
+    """``--sizes`` is validated at parse time: every rejection is a one-line
+    argparse error (exit code 2, no traceback, no workload ever generated)."""
+
+    def _reject(self, capsys, sizes, fragment):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", *FAST, "--sizes", *sizes])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert fragment in err
+        assert "Traceback" not in err
+
+    def test_zero_rejected(self, capsys):
+        self._reject(capsys, ["0"], "must be positive")
+
+    def test_negative_rejected(self, capsys):
+        self._reject(capsys, ["-2"], "must be positive")
+
+    def test_non_number_rejected(self, capsys):
+        self._reject(capsys, ["big"], "not a number")
+
+    def test_non_power_of_two_rejected(self, capsys):
+        self._reject(capsys, ["0.75"], "not a power of two")
+
+    def test_duplicate_rejected(self, capsys):
+        self._reject(capsys, ["0.5", "2", "0.5"], "duplicate capacity")
+
+    def test_valid_sizes_sweep_runs(self, capsys):
+        # 0.5x and 2x of the scaled-4mb 256KB LLC.
+        assert main(["sweep", *FAST, "--sizes", "0.5", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "128KB" in out
+        assert "512KB" in out
