@@ -34,6 +34,7 @@ Examples::
 import argparse
 import json
 import math
+import os
 import sys
 from contextlib import contextmanager
 from typing import List, Optional
@@ -188,6 +189,19 @@ def _add_fastpath_argument(parser: argparse.ArgumentParser) -> None:
              "RRIP/DIP/NRU/random/OPT tiers; results are bit-identical, "
              "this only trades speed)",
     )
+    parser.add_argument(
+        "--no-native", action="store_true",
+        help="disable the native scalar-tier backend (numba/compact SHiP "
+             "kernels); scalar-tier replays take the object model instead "
+             "(results are bit-identical, this only trades speed)",
+    )
+    parser.add_argument(
+        "--kernel-jobs", type=_nonnegative_int, default=None, metavar="N",
+        help="worker threads sharding the set-partitioned kernels within "
+             "one replay (1 = serial, 0 = all cores; exact — per-set "
+             "state and RNG streams are independent; default: "
+             "$REPRO_SIM_KERNEL_JOBS or serial)",
+    )
 
 
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
@@ -242,6 +256,17 @@ def _context(args) -> ExperimentContext:
         args.profile, args.accesses, args.seed, cache_dir=_cache_spec(args)
     )
     context.fastpath = _fastpath_spec(args)
+    # Exported as environment rather than threaded through the context so
+    # worker processes (pool initializer re-reads os.environ) and every
+    # library entry point see the same gates.
+    if getattr(args, "no_native", False):
+        from repro.sim.nativepath import NO_NATIVE_ENV
+
+        os.environ[NO_NATIVE_ENV] = "1"
+    if getattr(args, "kernel_jobs", None) is not None:
+        from repro.sim.nativepath import KERNEL_JOBS_ENV
+
+        os.environ[KERNEL_JOBS_ENV] = str(args.kernel_jobs)
     if args.workloads:
         unknown = set(args.workloads) - set(workload_names())
         if unknown:
@@ -701,6 +726,12 @@ def cmd_bench(args) -> int:
             f"{name} {value:.2f}x" for name, value in grid_speedups.items()
         )
         print(f"grid-replay speedup vs per-cell twin: {rendered}")
+    native_speedups = payload.get("nativepath_speedups") or {}
+    if native_speedups:
+        rendered = ", ".join(
+            f"{name} {value:.2f}x" for name, value in native_speedups.items()
+        )
+        print(f"native scalar-backend speedup vs model twin: {rendered}")
     vs = payload.get("vs_previous")
     if vs:
         print(f"golden throughput vs {vs['rev']}: "
@@ -731,6 +762,16 @@ def cmd_bench(args) -> int:
                     f"error: {name} is only {value:.2f}x its per-cell twin "
                     f"(bound {args.min_gridpath_speedup:.2f}x) — the grid "
                     f"replay may have degenerated to independent replays",
+                    file=sys.stderr,
+                )
+                failed = True
+    if args.min_nativepath_speedup is not None:
+        for name, value in native_speedups.items():
+            if value < args.min_nativepath_speedup:
+                print(
+                    f"error: {name} is only {value:.2f}x its model twin "
+                    f"(bound {args.min_nativepath_speedup:.2f}x) — the "
+                    f"native scalar backend may have silently fallen back",
                     file=sys.stderr,
                 )
                 failed = True
@@ -765,6 +806,13 @@ def _render_probe_payloads(run_dir) -> None:
 def cmd_runs(args) -> int:
     root = _runs_root(args)
     if args.action == "list":
+        swept = telemetry.sweep_orphan_manifests(root)
+        if swept:
+            print(
+                f"warning: swept {len(swept)} orphaned manifest temp "
+                f"file(s) left by killed runs",
+                file=sys.stderr,
+            )
         rows = []
         runs = telemetry.list_runs(
             root,
@@ -956,6 +1004,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="X",
         help="fail (exit 1) when the grid-replay cell is less than X "
              "times faster than its independent per-cell twin (CI uses 2.0)",
+    )
+    p.add_argument(
+        "--min-nativepath-speedup", type=_positive_float, default=None,
+        metavar="X",
+        help="fail (exit 1) when the native SHiP cell is less than X "
+             "times faster than its forced-model twin (CI uses 2.0)",
     )
 
     p = subparsers.add_parser("cache",

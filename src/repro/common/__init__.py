@@ -22,6 +22,7 @@ from repro.common.config import (
     profile,
     PROFILE_NAMES,
 )
+from repro.common.envflag import FALSE_WORDS, env_flag
 from repro.common.errors import ConfigError, ReproError, SimulationError, TraceError
 from repro.common.rng import DeterministicRng, derive_seed
 from repro.common.stats import CounterBag, geometric_mean, ratio, safe_div
@@ -41,6 +42,8 @@ __all__ = [
     "scaled_8mb",
     "profile",
     "PROFILE_NAMES",
+    "FALSE_WORDS",
+    "env_flag",
     "ConfigError",
     "ReproError",
     "SimulationError",

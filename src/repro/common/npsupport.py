@@ -7,16 +7,19 @@ its pure-Python twin on interpreters without numpy. Design decision #4
 to produce bit-identical outputs, so which one runs never changes a result.
 """
 
-import os
+from repro.common.envflag import env_flag
 
 NO_NUMPY_ENV = "REPRO_SIM_NO_NUMPY"
-"""Set (to any non-empty value) to pretend numpy is absent.
+"""Set (to a truthy value — see :func:`repro.common.envflag.env_flag`) to
+pretend numpy is absent.
 
 CI's no-numpy job and the pure-Python equivalence tests use this to drive
 every kernel down its Python twin without uninstalling anything.
+``REPRO_SIM_NO_NUMPY=0``/``=false`` count as unset, not as a request to
+drop numpy.
 """
 
-if os.environ.get(NO_NUMPY_ENV):
+if env_flag(NO_NUMPY_ENV):
     numpy = None
 else:
     try:  # pragma: no cover - exercised implicitly by every vectorized kernel

@@ -22,8 +22,20 @@ once and excluded):
   partitioned kernels are bit-identical to the scalar model, so a cell
   that stops being *faster* than its twin has silently fallen back.
 * ``warm_replay_ship``         — SHiP is scalar-tier by design (globally
-  coupled SHCT); this cell tracks the fallback price and demonstrably
-  stays at scalar throughput.
+  coupled SHCT); on its default auto gate it now takes the native scalar
+  backend (:mod:`repro.sim.nativepath` — numba when importable, the
+  compact pure-Python kernel otherwise). ``warm_replay_ship_native``
+  forces the native backend explicitly and ``warm_replay_ship_scalar``
+  forces the object model; the CI smoke gate bounds that pair's speedup
+  from below (:data:`NATIVEPATH_GATE_PAIRS` /
+  ``--min-nativepath-speedup``) — the native kernel is bit-identical to
+  the model, so losing the speedup means the scalar tier silently
+  regressed to model throughput.
+* ``warm_replay_srrip_sharded`` — the set-partitioned SRRIP cell with
+  the per-set loop sharded over two intra-replay worker threads
+  (``kernel_jobs=2``). Tracked but not gated: pure-Python shards share
+  the GIL, so thread scaling is only expected of the numba/numpy
+  kernels; the cell exists to catch pathological sharding overhead.
 * ``warm_sweep_grid`` / ``warm_sweep_grid_percell`` — a whole
   configuration grid (four-associativity LRU capacity grid plus a
   four-point SRRIP ``rrpv_bits`` parameter grid) replayed in shared
@@ -67,6 +79,7 @@ from repro.common.stats import ratio
 from repro.policies.rrip import SrripPolicy
 from repro.sim.gridpath import replay_lru_grid, replay_param_grid
 from repro.sim.multipass import run_policy_on_stream
+from repro.sim.nativepath import have_numba
 from repro.sim.probes import run_probed_replay
 
 BENCH_FORMAT_VERSION = 1
@@ -95,6 +108,11 @@ GRIDPATH_GATE_PAIRS = {
     "warm_sweep_grid": "warm_sweep_grid_percell",
 }
 """Grid-replay cell -> its independent per-cell twin (speedup gate pair)."""
+
+NATIVEPATH_GATE_PAIRS = {
+    "warm_replay_ship_native": "warm_replay_ship_scalar",
+}
+"""Native scalar-backend cell -> its forced-model twin (speedup gate)."""
 
 GRID_WAYS = (4, 8, 16, 32)
 """Associativity axis of the bench LRU capacity grid (fixed set count)."""
@@ -141,9 +159,12 @@ def bench_cells(context, workload: str, repeats: int) -> Dict[str, Dict]:
     geometry = context.geometry
     seed = context.seed
 
-    def replay(policy: str, fastpath: Optional[bool]):
+    def replay(policy: str, fastpath: Optional[bool],
+               native: Optional[bool] = None,
+               kernel_jobs: Optional[int] = None):
         return lambda: run_policy_on_stream(
-            stream, geometry, policy, seed=seed, fastpath=fastpath
+            stream, geometry, policy, seed=seed, fastpath=fastpath,
+            native=native, kernel_jobs=kernel_jobs,
         )
 
     def probed(probes: Tuple[str, ...], fastpath: Optional[bool]):
@@ -187,6 +208,9 @@ def bench_cells(context, workload: str, repeats: int) -> Dict[str, Dict]:
         "warm_replay_drrip": replay("drrip", None),
         "warm_replay_drrip_scalar": replay("drrip", False),
         "warm_replay_ship": replay("ship", None),
+        "warm_replay_ship_native": replay("ship", None, native=True),
+        "warm_replay_ship_scalar": replay("ship", None, native=False),
+        "warm_replay_srrip_sharded": replay("srrip", None, kernel_jobs=2),
         "warm_sweep_grid": sweep_grid,
         "warm_sweep_grid_percell": sweep_grid_percell,
         OVERHEAD_CELL: probed((), False),
@@ -270,6 +294,21 @@ def gridpath_speedups(cells: Dict[str, Dict]) -> Dict[str, float]:
     }
 
 
+def nativepath_speedups(cells: Dict[str, Dict]) -> Dict[str, float]:
+    """Min-wall speedup of the native scalar backend over the model twin.
+
+    Keyed by the native cell's name; the CI smoke gate fails when any
+    value drops below ``--min-nativepath-speedup`` (the native kernel is
+    bit-identical to the scalar model, so a native cell that is no faster
+    than its forced-model twin has silently fallen back).
+    """
+    return {
+        fast: ratio(cells[twin]["min_sec"], cells[fast]["min_sec"])
+        for fast, twin in NATIVEPATH_GATE_PAIRS.items()
+        if fast in cells and twin in cells
+    }
+
+
 def previous_bench(out_dir: Path, rev: str) -> Optional[Dict]:
     """The most recently written BENCH file of a *different* revision."""
     candidates = [
@@ -317,10 +356,12 @@ def run_bench(
         "seed": context.seed,
         "python_version": platform.python_version(),
         "numpy_available": HAVE_NUMPY,
+        "numba_available": have_numba(),
         "cells": cells,
         "disabled_probe_overhead": overhead,
         "setpath_speedups": setpath_speedups(cells),
         "gridpath_speedups": gridpath_speedups(cells),
+        "nativepath_speedups": nativepath_speedups(cells),
         "golden_cell": GOLDEN_CELL,
         "overhead_cell": OVERHEAD_CELL,
     }

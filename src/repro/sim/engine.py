@@ -64,6 +64,7 @@ class LlcOnlySimulator:
             hits=self.llc.hits,
             misses=self.llc.misses,
             elapsed_sec=elapsed,
+            backend="model",
         )
         # One event per replay (never per access): telemetry overhead on a
         # warm replay cell is a single line append, disabled it is one
@@ -73,5 +74,6 @@ class LlcOnlySimulator:
             stream=result.stream_name, wall_sec=round(elapsed, 6),
             accesses=result.accesses, hits=result.hits,
             misses=result.misses, fastpath=False, tier=result.tier,
+            backend=result.backend,
         )
         return result

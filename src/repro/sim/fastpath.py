@@ -41,20 +41,24 @@ else replays through the scalar model. ``REPRO_SIM_NO_FASTPATH=1`` (or
 ``--no-fastpath`` on the CLI) forces the scalar path everywhere.
 """
 
-import os
 from array import array
 from time import perf_counter
 from typing import List, Optional, Sequence, Tuple
 
 from repro.cache.stream import LlcStream
 from repro.common.config import CacheGeometry
+from repro.common.envflag import env_flag
 from repro.common.npsupport import require_numpy, should_vectorize
 from repro.policies.base import REPLAY_SCALAR, REPLAY_STACK, ReplacementPolicy
 from repro.policies.registry import policy_class
 from repro.sim.results import LlcSimResult
 
 FASTPATH_ENV = "REPRO_SIM_NO_FASTPATH"
-"""Environment variable disabling the LRU fast path when set non-empty."""
+"""Environment variable disabling the fast replay tiers when set truthy.
+
+Parsed by :func:`repro.common.envflag.env_flag`: ``=0``/``=false``/``=no``
+count as unset (the fast path stays on), anything else disables it.
+"""
 
 VECTORIZE_THRESHOLD = 4096
 """Stream length above which the numpy reconstruction wins (auto mode)."""
@@ -64,11 +68,13 @@ def fastpath_enabled(flag: Optional[bool] = None) -> bool:
     """Resolve the three-state fast-path gate.
 
     ``None`` (auto) enables the fast path unless :data:`FASTPATH_ENV` is
-    set in the environment; ``True``/``False`` force it on/off regardless.
+    set truthy in the environment (:func:`env_flag` semantics — ``=0`` and
+    ``=false`` count as unset); ``True``/``False`` force it on/off
+    regardless.
     """
     if flag is not None:
         return flag
-    return not os.environ.get(FASTPATH_ENV)
+    return not env_flag(FASTPATH_ENV)
 
 
 def replay_tier_of(policy) -> str:
@@ -565,4 +571,5 @@ def replay_lru_fastpath(
         misses=misses,
         elapsed_sec=elapsed,
         tier=REPLAY_STACK,
+        backend="python",
     )

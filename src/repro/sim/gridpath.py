@@ -58,6 +58,7 @@ from repro.sim.fastpath import (
     fastpath_enabled,
     replay_lru_fastpath,
 )
+from repro.sim.nativepath import try_native_replay
 from repro.sim.results import LlcSimResult
 from repro.sim.setpath import (
     _count_rrip_sync_stacked,
@@ -158,6 +159,7 @@ def replay_lru_grid(
                 misses=n - hits,
                 elapsed_sec=share,
                 tier=REPLAY_GRID,
+                backend="python",
             )
     if profile is not None:
         profile["grid_groups"] = len(groups)
@@ -268,6 +270,7 @@ def replay_geometry_grid(
                     misses=n - hits,
                     elapsed_sec=perf_counter() - cell_start,
                     tier=REPLAY_GRID,
+                    backend="numpy" if use_np else "python",
                 )
         if profile is not None:
             profile["grid_groups"] = len(groups)
@@ -353,6 +356,7 @@ def replay_param_grid(
                 misses=n - hits,
                 elapsed_sec=elapsed / len(stacked),
                 tier=REPLAY_GRID,
+                backend="numpy",
             )
     for idx, instance in enumerate(instances):
         if results[idx] is not None:
@@ -372,13 +376,24 @@ def replay_param_grid(
                 misses=n - hits,
                 elapsed_sec=perf_counter() - cell_start,
                 tier=REPLAY_GRID,
+                backend="numpy" if use_np else "python",
             )
         elif tier == REPLAY_STACK:
             results[idx] = replay_lru_fastpath(
                 stream, geometry, use_numpy=use_numpy, profile=profile
             )
         else:
-            results[idx] = _scalar_cell(stream, geometry, instance)
+            # Scalar-tier variants get the native backend when eligible
+            # (exact unbound SHiP — parameter variants qualify, the kernel
+            # reads each instance's own SHCT geometry); the env escape
+            # hatch and everything else land on the scalar model.
+            native = try_native_replay(
+                stream, geometry, instance, use_numpy=use_numpy,
+                profile=profile,
+            )
+            results[idx] = native if native is not None else _scalar_cell(
+                stream, geometry, instance
+            )
     telemetry.emit(
         "span", stage="replay_grid", policy="+".join(
             dict.fromkeys(r.policy for r in results)

@@ -1,0 +1,424 @@
+"""Compiled + compact-array backend for the scalar replay tier.
+
+The replay-tier registry (PR 5/6) left exactly one tier paying full model
+overhead: ``scalar``. SHiP is its canonical occupant — the SHCT is written
+by *every* set's fills, hits, and evictions, so no per-set decomposition
+exists (DESIGN.md decision 9) and every SHiP cell crawls through
+``SharedLlc.access`` at model speed. But SHiP's replay-relevant state is
+tiny and flat: an RRPV byte, a signature, and an outcome bit per frame,
+plus one global saturating-counter table. That is exactly the shape a
+compact-array kernel (and a nopython-compiled one) handles well.
+
+This module supplies that backend, in three layers:
+
+* **Compact kernel** (:func:`_ship_count_compact`) — a bit-exact
+  transcription of ``SharedLlc.access`` + :class:`ShipPolicy` over flat
+  per-set lists (the layout :mod:`repro.sim.setpath`'s count kernels use),
+  with PC signatures pre-hashed in one vectorized pass. SHiP draws no RNG,
+  so the transcription is deterministic and bit-identical to the scalar
+  model (the differential suite pins it). This is the *always available*
+  twin — it needs nothing beyond the interpreter — and is itself several
+  times faster than the model because it replaces per-access method
+  dispatch, tuple unpacking, and residency bookkeeping with list indexing.
+* **Numba kernel** (:func:`_ship_count_numba`) — the same loop compiled
+  ``nopython``/``nogil`` over int32/int8 numpy arrays (block addresses
+  compacted to dense ids so residency lookup is an array index, not a
+  dict probe). Auto-selected when numba imports; the container/CI matrix
+  without numba lands on the compact twin.
+* **Dispatch** (:func:`try_native_replay`) — called by
+  :func:`repro.sim.setpath.try_fast_replay` when a replay resolves to the
+  scalar tier: exact-type unbound :class:`ShipPolicy` replays with no
+  observers route here, everything else (undeclared subclasses, bound
+  instances, observer-carrying replays, ``REPRO_SIM_NO_NATIVE``) falls
+  back to the scalar model with the chosen backend recorded in the
+  result's ``backend`` provenance field.
+
+The module also owns the ``--kernel-jobs`` resolution used by the
+set-partitioned engine's intra-replay sharding
+(:func:`resolve_kernel_jobs`): per-set decomposition plus per-set RNG
+streams make set-tier kernels embarrassingly parallel *within one replay*
+(DESIGN.md decision 11), so :mod:`repro.sim.setpath` can split its per-set
+loop across worker threads exactly.
+"""
+
+from time import perf_counter
+from typing import Optional, Tuple
+
+from repro.cache.stream import LlcStream
+from repro.common.config import CacheGeometry
+from repro.common.envflag import env_flag
+from repro.common.npsupport import HAVE_NUMPY, require_numpy, should_vectorize
+from repro.policies.base import REPLAY_SCALAR
+from repro.policies.ship import ShipPolicy
+from repro.sim.results import LlcSimResult
+
+NO_NATIVE_ENV = "REPRO_SIM_NO_NATIVE"
+"""Set truthy (:func:`repro.common.envflag.env_flag` semantics) to disable
+the native scalar-tier backend; SHiP replays then take the scalar model.
+``=0``/``=false``/``=no`` count as unset, matching every other
+``REPRO_SIM_*`` toggle.
+"""
+
+KERNEL_JOBS_ENV = "REPRO_SIM_KERNEL_JOBS"
+"""Default intra-replay shard count for set-partitioned kernels.
+
+``--kernel-jobs`` on the CLI exports this so worker processes inherit it;
+``0`` means all cores, unset/invalid means 1 (serial).
+"""
+
+BACKEND_MODEL = "model"
+"""Result produced by the scalar object model (``SharedLlc.access``)."""
+
+BACKEND_COMPACT = "compact"
+"""Result produced by the compact pure-Python nativepath kernel."""
+
+BACKEND_NUMBA = "numba"
+"""Result produced by the numba-compiled nativepath kernel."""
+
+_NUMBA = None
+_NUMBA_CHECKED = False
+_SHIP_NUMBA_KERNEL = None
+
+
+def _numba():
+    """The numba module, imported lazily, or ``None`` when unavailable.
+
+    Import cost (and any import-time breakage of an optional accelerator)
+    is paid at most once, on the first native-eligible replay — never at
+    module import.
+    """
+    global _NUMBA, _NUMBA_CHECKED
+    if not _NUMBA_CHECKED:
+        _NUMBA_CHECKED = True
+        try:  # pragma: no cover - exercised only where numba is installed
+            import numba
+
+            _NUMBA = numba
+        except Exception:
+            _NUMBA = None
+    return _NUMBA
+
+
+def have_numba() -> bool:
+    """True when numba is importable in this interpreter."""
+    return _numba() is not None
+
+
+def native_enabled(flag: Optional[bool] = None) -> bool:
+    """Resolve the three-state native-backend gate.
+
+    ``None`` (auto) enables the backend unless :data:`NO_NATIVE_ENV` is
+    set truthy; ``True``/``False`` force it on/off regardless. Forcing
+    ``True`` does not require numba — the compact twin is part of the
+    native backend and always available.
+    """
+    if flag is not None:
+        return flag
+    return not env_flag(NO_NATIVE_ENV)
+
+
+def resolve_kernel_jobs(jobs: Optional[int] = None) -> int:
+    """Effective intra-replay shard count (>= 1).
+
+    An explicit ``jobs`` wins; otherwise :data:`KERNEL_JOBS_ENV` supplies
+    the default. ``0`` means all cores; anything unset, unparsable, or
+    negative means serial.
+    """
+    import os
+
+    if jobs is None:
+        raw = os.environ.get(KERNEL_JOBS_ENV, "")
+        try:
+            jobs = int(raw)
+        except ValueError:
+            jobs = 1
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return max(jobs, 1)
+
+
+# ----------------------------------------------------------------------
+# Signature preparation (vectorized, with a pure-Python twin)
+# ----------------------------------------------------------------------
+
+def _hash_pcs(pcs, mask: int, use_np: bool):
+    """Every access's SHCT signature: ``ShipPolicy._hash_pc`` columnwise."""
+    if use_np:
+        np = require_numpy()
+        column = np.asarray(pcs, dtype=np.int64)
+        sigs = ((column >> 2) ^ (column >> 11) ^ (column >> 19)) & mask
+        return sigs.tolist()
+    return [((pc >> 2) ^ (pc >> 11) ^ (pc >> 19)) & mask for pc in pcs]
+
+
+# ----------------------------------------------------------------------
+# Compact pure-Python kernel (always available)
+# ----------------------------------------------------------------------
+
+def _ship_count_compact(blocks, sigs, num_sets: int, ways: int, rmax: int,
+                        cmax: int, shct) -> int:
+    """Count-mode SHiP replay over flat per-set lists; returns hits.
+
+    Bit-exact transcription of the scalar path: free fills take the
+    lowest free way (fill order — no back-invalidation exists in LLC-only
+    replay), victim selection is SRRIP aging (the closed-form delta of
+    ``_count_rrip``), and the SHCT sees the eviction decrement *before*
+    the fill reads the incoming signature's counter — the same order
+    ``SharedLlc.access`` runs ``on_evict`` and ``on_fill`` in, which
+    matters when victim and filler share a signature.
+    """
+    set_mask = num_sets - 1
+    where: dict = {}  # block -> (rrpv row, sig row, outcome row, way)
+    get = where.get
+    blk_rows = [[0] * ways for __ in range(num_sets)]
+    rrpv_rows = [[rmax] * ways for __ in range(num_sets)]
+    sig_rows = [[0] * ways for __ in range(num_sets)]
+    out_rows = [[0] * ways for __ in range(num_sets)]
+    filled = [0] * num_sets
+    hits = 0
+    for block, g in zip(blocks, sigs):
+        entry = get(block)
+        if entry is not None:
+            rrow, srow, orow, way = entry
+            rrow[way] = 0
+            hits += 1
+            if not orow[way]:
+                orow[way] = 1
+                g2 = srow[way]
+                if shct[g2] < cmax:
+                    shct[g2] += 1
+            continue
+        s = block & set_mask
+        rrow = rrpv_rows[s]
+        srow = sig_rows[s]
+        orow = out_rows[s]
+        brow = blk_rows[s]
+        f = filled[s]
+        if f < ways:
+            way = f
+            filled[s] = f + 1
+        else:
+            top = max(rrow)
+            if top != rmax:
+                delta = rmax - top
+                for w in range(ways):
+                    rrow[w] += delta
+            way = rrow.index(rmax)
+            del where[brow[way]]
+            if not orow[way]:
+                g2 = srow[way]
+                if shct[g2] > 0:
+                    shct[g2] -= 1
+        srow[way] = g
+        orow[way] = 0
+        rrow[way] = rmax if shct[g] == 0 else rmax - 1
+        brow[way] = block
+        where[block] = (rrow, srow, orow, way)
+    return hits
+
+
+# ----------------------------------------------------------------------
+# Numba kernel (auto-selected when importable)
+# ----------------------------------------------------------------------
+
+def _ship_numba_kernel():
+    """Compile (once) and return the nopython SHiP count kernel."""
+    global _SHIP_NUMBA_KERNEL
+    if _SHIP_NUMBA_KERNEL is None:  # pragma: no cover - needs numba
+        numba = _numba()
+
+        @numba.njit(nogil=True, cache=False)
+        def kernel(ids, sets, sigs, ways, rmax, cmax,
+                   where, blk, rrpv, sig, out, filled, shct):
+            hits = 0
+            for i in range(ids.shape[0]):
+                bid = ids[i]
+                pos = where[bid]
+                if pos >= 0:
+                    rrpv[pos] = 0
+                    hits += 1
+                    if out[pos] == 0:
+                        out[pos] = 1
+                        g2 = sig[pos]
+                        if shct[g2] < cmax:
+                            shct[g2] += 1
+                    continue
+                s = sets[i]
+                base = s * ways
+                f = filled[s]
+                if f < ways:
+                    pos = base + f
+                    filled[s] = f + 1
+                else:
+                    top = -1
+                    for w in range(ways):
+                        v = rrpv[base + w]
+                        if v > top:
+                            top = v
+                    if top != rmax:
+                        delta = rmax - top
+                        for w in range(ways):
+                            rrpv[base + w] += delta
+                    pos = base
+                    for w in range(ways):
+                        if rrpv[base + w] == rmax:
+                            pos = base + w
+                            break
+                    where[blk[pos]] = -1
+                    if out[pos] == 0:
+                        g2 = sig[pos]
+                        if shct[g2] > 0:
+                            shct[g2] -= 1
+                g = sigs[i]
+                sig[pos] = g
+                out[pos] = 0
+                if shct[g] == 0:
+                    rrpv[pos] = rmax
+                else:
+                    rrpv[pos] = rmax - 1
+                blk[pos] = bid
+                where[bid] = pos
+            return hits
+
+        _SHIP_NUMBA_KERNEL = kernel
+    return _SHIP_NUMBA_KERNEL
+
+
+def _ship_count_numba(stream: LlcStream, sig_mask: int, num_sets: int,
+                      ways: int, rmax: int, cmax: int, shct) -> int:
+    """Numba-compiled count-mode SHiP replay; returns hits.
+
+    Block addresses are compacted to dense ids (one ``np.unique``) so the
+    residency map is a flat int32 array instead of a hash probe — the
+    same compact-state idea the setpath kernels use, taken one step
+    further because nopython code wants arrays, not dicts.
+    """  # pragma: no cover - needs numba
+    np = require_numpy()
+    __, pcs, blocks, ___ = stream.numpy_columns()
+    uniq, ids = np.unique(blocks, return_inverse=True)
+    ids = ids.astype(np.int32)
+    sets = (blocks & np.int64(num_sets - 1)).astype(np.int32)
+    sigs = (((pcs >> 2) ^ (pcs >> 11) ^ (pcs >> 19))
+            & np.int64(sig_mask)).astype(np.int32)
+    frames = num_sets * ways
+    state_where = np.full(len(uniq), -1, dtype=np.int32)
+    state_blk = np.zeros(frames, dtype=np.int32)
+    state_rrpv = np.full(frames, rmax, dtype=np.int32)
+    state_sig = np.zeros(frames, dtype=np.int32)
+    state_out = np.zeros(frames, dtype=np.int8)
+    state_filled = np.zeros(num_sets, dtype=np.int32)
+    state_shct = np.asarray(shct, dtype=np.int32)
+    kernel = _ship_numba_kernel()
+    return int(kernel(
+        ids, sets, sigs, ways, rmax, cmax, state_where, state_blk,
+        state_rrpv, state_sig, state_out, state_filled, state_shct,
+    ))
+
+
+# ----------------------------------------------------------------------
+# Replay entry point + dispatch
+# ----------------------------------------------------------------------
+
+def replay_ship_nativepath(
+    stream: LlcStream,
+    geometry: CacheGeometry,
+    policy: ShipPolicy,
+    use_numpy: Optional[bool] = None,
+    profile=None,
+) -> LlcSimResult:
+    """Replay ``stream`` under an unbound SHiP instance, natively.
+
+    Drop-in classification twin of
+    ``LlcOnlySimulator(geometry, policy).run(stream)``: same hit/miss
+    counts (differential-tested, including hypothesis streams), recorded
+    with the scalar tier — this is a faster *backend* for that tier, not
+    a new tier — and the kernel that produced the counters in
+    ``result.backend``. The policy instance is left unbound (the kernel
+    reads only its configuration: ``rrpv_max``, SHCT geometry, and the
+    initial counter value).
+
+    ``profile``, when a dict, receives ``native_prepare`` /
+    ``native_kernel`` wall times and the chosen ``native_backend``.
+    """
+    from repro.sim.fastpath import VECTORIZE_THRESHOLD
+
+    start = perf_counter()
+    n = len(stream.blocks)
+    use_np = should_vectorize(use_numpy, n, VECTORIZE_THRESHOLD)
+    rmax = policy.rrpv_max
+    cmax = policy.counter_max
+    sig_mask = policy.shct_size - 1
+    shct = list(policy._shct)  # never mutate the caller's instance
+    backend = BACKEND_NUMBA if (have_numba() and HAVE_NUMPY) else BACKEND_COMPACT
+    prep_start = perf_counter()
+    if backend == BACKEND_NUMBA:  # pragma: no cover - needs numba
+        if profile is not None:
+            profile["native_prepare"] = perf_counter() - prep_start
+        kernel_start = perf_counter()
+        hits = _ship_count_numba(
+            stream, sig_mask, geometry.num_sets, geometry.ways, rmax, cmax,
+            shct,
+        )
+    else:
+        sigs = _hash_pcs(stream.pcs, sig_mask, use_np)
+        if profile is not None:
+            profile["native_prepare"] = perf_counter() - prep_start
+        kernel_start = perf_counter()
+        hits = _ship_count_compact(
+            stream.blocks, sigs, geometry.num_sets, geometry.ways, rmax,
+            cmax, shct,
+        )
+    if profile is not None:
+        profile["native_kernel"] = perf_counter() - kernel_start
+        profile["native_backend"] = backend
+    return LlcSimResult(
+        policy=policy.name,
+        stream_name=stream.name,
+        accesses=n,
+        hits=hits,
+        misses=n - hits,
+        elapsed_sec=perf_counter() - start,
+        tier=REPLAY_SCALAR,
+        backend=backend,
+    )
+
+
+def native_eligible(policy) -> bool:
+    """True when ``policy`` (name or instance) can take the native backend.
+
+    Mirrors the two-guard discipline of the set-partitioned engine: the
+    kernel is keyed by *exact* type — an undeclared :class:`ShipPolicy`
+    subclass must not ride the parent's kernel — and a bound instance may
+    carry pre-seeded SHCT/RRPV state no offline kernel reconstructs.
+    """
+    if isinstance(policy, str):
+        return policy == "ship"
+    return type(policy) is ShipPolicy and policy.geometry is None
+
+
+def try_native_replay(
+    stream: LlcStream,
+    geometry: CacheGeometry,
+    policy,
+    observers: Tuple = (),
+    native: Optional[bool] = None,
+    use_numpy: Optional[bool] = None,
+    profile=None,
+) -> Optional[LlcSimResult]:
+    """Native replay of a scalar-tier policy, or ``None`` to fall back.
+
+    Returns ``None`` — caller proceeds to the scalar model — whenever the
+    backend is gated off (``native=False`` or ``REPRO_SIM_NO_NATIVE``),
+    observers need the full residency callback stream, or the policy is
+    not an exact-type unbound SHiP (name or instance). ``policy`` given as
+    the name ``"ship"`` constructs the registry default, matching what the
+    scalar fallback would build.
+    """
+    if observers or not native_enabled(native):
+        return None
+    if not native_eligible(policy):
+        return None
+    instance = policy if isinstance(policy, ShipPolicy) else ShipPolicy()
+    return replay_ship_nativepath(
+        stream, geometry, instance, use_numpy=use_numpy, profile=profile,
+    )

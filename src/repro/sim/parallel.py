@@ -51,6 +51,25 @@ DEFAULT_RETRIES = 1
 DEFAULT_BACKOFF = 0.25
 """Base delay (seconds) before retrying a failed cell; doubles per retry."""
 
+MAX_BACKOFF = 30.0
+"""Ceiling (seconds) on any single retry delay.
+
+The exponential ``backoff * 2**(attempts-1)`` schedule is unbounded; with
+a high ``--retries`` budget the tail delays would otherwise stall a sweep
+for minutes per cell. Both the serial sleep and the pool's ``not_before``
+deadlines clamp to this ceiling.
+"""
+
+
+def retry_delay(backoff: float, attempts: int) -> float:
+    """The capped exponential delay before retry number ``attempts``.
+
+    ``attempts`` is the number of attempts already made (>= 1). Shared by
+    the serial loop (which sleeps it) and the pool path (which turns it
+    into a ``not_before`` deadline) so both schedules stay identical.
+    """
+    return min(backoff * (2 ** (attempts - 1)), MAX_BACKOFF)
+
 FAULT_ENV = "REPRO_SIM_FAULT_INJECT"
 """Fault-injection hook (tests only): ``kind:workload:mode``.
 
@@ -318,7 +337,7 @@ def _run_cells_serial(
                 telemetry.emit("cell_retry", cell_kind=cell.kind,
                                workload=cell.workload, attempt=attempts,
                                error_type=type(error).__name__)
-                time.sleep(backoff * (2 ** (attempts - 1)))
+                time.sleep(retry_delay(backoff, attempts))
     return results
 
 
@@ -380,8 +399,8 @@ def _run_cells_pool(
         telemetry.emit("cell_retry", cell_kind=cell.kind,
                        workload=cell.workload, attempt=attempts[index],
                        error_type=type(error).__name__)
-        not_before[index] = (
-            time.monotonic() + backoff * (2 ** (attempts[index] - 1))
+        not_before[index] = time.monotonic() + retry_delay(
+            backoff, attempts[index]
         )
         queue.append(index)
 

@@ -16,7 +16,13 @@ class LlcSimResult:
     ``tier`` records which replay engine produced the result (one of
     :data:`repro.policies.base.REPLAY_TIERS`); it too is excluded from
     equality — the whole point of the differential suite is that tiers
-    agree on everything else.
+    agree on everything else. ``backend`` refines the provenance one step
+    further: *which kernel implementation* inside that tier produced the
+    counters (``model`` for the scalar object model, ``python``/``numpy``
+    for the set-partitioned and fastpath kernels, ``compact``/``numba``
+    for the native scalar backend, with a ``+threads{N}`` suffix when the
+    per-set loop was sharded across worker threads). Like ``tier`` it is
+    excluded from equality.
     """
 
     policy: str
@@ -26,6 +32,7 @@ class LlcSimResult:
     misses: int
     elapsed_sec: float = field(default=0.0, compare=False, repr=False)
     tier: str = field(default="scalar", compare=False)
+    backend: str = field(default="model", compare=False)
 
     @property
     def accesses_per_sec(self) -> float:
@@ -62,6 +69,7 @@ class LlcSimResult:
             "misses": self.misses,
             "miss_ratio": self.miss_ratio,
             "tier": self.tier,
+            "backend": self.backend,
         }
 
 

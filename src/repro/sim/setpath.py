@@ -47,6 +47,7 @@ for scalar so the caller can fall back to the full model.
 
 from array import array
 from bisect import bisect_left
+from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
@@ -80,6 +81,7 @@ from repro.sim.fastpath import (
     replay_lru_fastpath,
     replay_tier_of,
 )
+from repro.sim.nativepath import resolve_kernel_jobs, try_native_replay
 from repro.sim.results import LlcSimResult
 
 _FAMILY_RECENCY = "recency"
@@ -1101,33 +1103,27 @@ def _gather_next_use(next_use, part: StreamPartition, use_np: bool):
     return [next_use[p] for p in part.order]
 
 
-def _plain_pass(part: StreamPartition, geometry: CacheGeometry,
-                policy, buf: Optional[_WalkBuf], use_np: bool) -> int:
-    """Replay every set of a non-dueling per-set policy."""
+def _plain_pass_range(part: StreamPartition, geometry: CacheGeometry,
+                      policy, buf: Optional[_WalkBuf], grouped_next,
+                      s_lo: int, s_hi: int) -> int:
+    """Replay the sets in ``[s_lo, s_hi)`` of a non-dueling policy.
+
+    The per-set loop body of :func:`_plain_pass`, extracted so the
+    intra-replay sharding can hand disjoint contiguous set ranges to
+    worker threads. Thread-safety contract: each set's kernel state is
+    local, each set is visited by exactly one caller, and any per-set RNG
+    a stochastic family reads must already exist in ``policy._set_rngs``
+    (sharded callers pre-create them serially — ``set_rng`` itself mutates
+    a shared dict).
+    """
     ways = geometry.ways
     starts = part.starts
     blocks = part.blocks
     order = part.order
     cls = type(policy)
     family = _KERNEL_FAMILIES[cls]
-    if (
-        buf is None and use_np and part.blocks_np is not None
-        and cls is SrripPolicy
-    ):
-        # Count-mode SRRIP has a fully synchronous vectorized kernel (no
-        # RNG, no residency skeleton to record); BRRIP's per-set draws
-        # and walk mode stay on the per-set kernels.
-        return _count_rrip_sync(part, ways, policy.rrpv_max)
     hits = 0
-    if family == _FAMILY_OPT:
-        next_use = policy.next_use
-        if len(next_use) != len(blocks):
-            raise SimulationError(
-                f"OPT replayed against a mismatched stream: next-use column "
-                f"has {len(next_use)} entries for {len(blocks)} accesses"
-            )
-        grouped_next = _gather_next_use(next_use, part, use_np)
-    for s in range(part.num_sets):
+    for s in range(s_lo, s_hi):
         lo, hi = starts[s], starts[s + 1]
         if lo == hi:
             continue
@@ -1175,9 +1171,79 @@ def _plain_pass(part: StreamPartition, geometry: CacheGeometry,
     return hits
 
 
+# Families whose kernels draw from per-set RNG streams; sharded passes
+# pre-create every set's stream serially before spawning workers.
+_STOCHASTIC_FAMILIES = frozenset({_FAMILY_RANDOM})
+_STOCHASTIC_MODES = frozenset({_MODE_BIP})
+
+
+def _needs_set_rngs(policy) -> bool:
+    """True when ``policy``'s kernel reads ``set_rng`` streams."""
+    cls = type(policy)
+    family = _KERNEL_FAMILIES[cls]
+    if family in _STOCHASTIC_FAMILIES:
+        return True
+    if family == _FAMILY_RRIP and cls is BrripPolicy:
+        return True
+    return (family == _FAMILY_RECENCY
+            and _RECENCY_MODES[cls] in _STOCHASTIC_MODES)
+
+
+def _plain_pass(part: StreamPartition, geometry: CacheGeometry,
+                policy, buf: Optional[_WalkBuf], use_np: bool,
+                kernel_jobs: int = 1) -> int:
+    """Replay every set of a non-dueling per-set policy.
+
+    With ``kernel_jobs > 1`` in count mode, the per-set loop is sharded
+    across worker threads on contiguous set ranges — exact because the
+    per-set decomposition already isolates every set's state and RNG
+    stream (DESIGN.md decision 11), so the shard boundaries change nothing
+    but wall-clock. Walk mode (shared skeleton buffer) stays serial.
+    """
+    cls = type(policy)
+    family = _KERNEL_FAMILIES[cls]
+    grouped_next = None
+    if family == _FAMILY_OPT:
+        next_use = policy.next_use
+        if len(next_use) != len(part.blocks):
+            raise SimulationError(
+                f"OPT replayed against a mismatched stream: next-use column "
+                f"has {len(next_use)} entries for {len(part.blocks)} accesses"
+            )
+        grouped_next = _gather_next_use(next_use, part, use_np)
+    num_sets = part.num_sets
+    if buf is None and kernel_jobs > 1 and num_sets > 1:
+        if _needs_set_rngs(policy):
+            # set_rng lazily fills a shared dict; materialize every
+            # stream before any worker thread reads it.
+            for s in range(num_sets):
+                policy.set_rng(s)
+        jobs = min(kernel_jobs, num_sets)
+        step = -(-num_sets // jobs)  # ceil division: contiguous ranges
+        bounds = [(lo, min(lo + step, num_sets))
+                  for lo in range(0, num_sets, step)]
+        with ThreadPoolExecutor(max_workers=len(bounds)) as pool:
+            shards = [
+                pool.submit(_plain_pass_range, part, geometry, policy, None,
+                            grouped_next, lo, hi)
+                for lo, hi in bounds
+            ]
+            return sum(shard.result() for shard in shards)
+    if (
+        buf is None and use_np and part.blocks_np is not None
+        and cls is SrripPolicy
+    ):
+        # Count-mode SRRIP has a fully synchronous vectorized kernel (no
+        # RNG, no residency skeleton to record); BRRIP's per-set draws
+        # and walk mode stay on the per-set kernels.
+        return _count_rrip_sync(part, geometry.ways, policy.rrpv_max)
+    return _plain_pass_range(part, geometry, policy, buf, grouped_next,
+                             0, num_sets)
+
+
 def _run_partitioned(part: StreamPartition, geometry: CacheGeometry,
                      policy, buf: Optional[_WalkBuf], use_np: bool,
-                     profile=None) -> int:
+                     profile=None, kernel_jobs: int = 1) -> int:
     """Replay every set (count mode when ``buf`` is None); returns hits."""
     start = perf_counter()
     if type(policy) in (DipPolicy, DrripPolicy):
@@ -1193,7 +1259,8 @@ def _run_partitioned(part: StreamPartition, geometry: CacheGeometry,
             profile["psel_series"] = perf_counter() - psel_start
         hits += _follower_pass(part, geometry, policy, buf, lookup, followers)
     else:
-        hits = _plain_pass(part, geometry, policy, buf, use_np)
+        hits = _plain_pass(part, geometry, policy, buf, use_np,
+                           kernel_jobs=kernel_jobs)
     if profile is not None:
         profile["set_kernels"] = perf_counter() - start
     return hits
@@ -1353,6 +1420,7 @@ def replay_setpath(
     observers: Tuple = (),
     use_numpy: Optional[bool] = None,
     profile=None,
+    kernel_jobs: Optional[int] = None,
 ) -> LlcSimResult:
     """Replay ``stream`` under an unbound per-set policy instance.
 
@@ -1361,8 +1429,11 @@ def replay_setpath(
     setpath-eligible policies: same hit/miss/eviction counts, same observer
     callbacks in the same order (equivalence-tested per policy). Without
     observers the replay is pure classification (count kernels, no
-    skeleton). ``profile``, when a dict, receives per-phase wall times
-    (``partition``, ``set_kernels``, ``psel_series`` for dueling,
+    skeleton). ``kernel_jobs`` (default from ``REPRO_SIM_KERNEL_JOBS``)
+    shards the count-mode per-set loop of non-dueling policies across that
+    many worker threads — bit-identical to the serial pass, see
+    :func:`_plain_pass`. ``profile``, when a dict, receives per-phase wall
+    times (``partition``, ``set_kernels``, ``psel_series`` for dueling,
     ``assemble``/``reconstruct``/``observer_replay`` with observers).
     """
     start = perf_counter()
@@ -1374,6 +1445,7 @@ def replay_setpath(
         )
     n = len(stream.blocks)
     use_np = should_vectorize(use_numpy, n, VECTORIZE_THRESHOLD)
+    backend = "numpy" if use_np else "python"
     if observers:
         walk = reconstruct_setpath_replay(
             stream, geometry, policy, use_numpy=use_numpy, profile=profile
@@ -1384,13 +1456,16 @@ def replay_setpath(
             profile["observer_replay"] = perf_counter() - phase_start
         hits, misses = walk.hits, walk.misses
     else:
+        jobs = resolve_kernel_jobs(kernel_jobs)
         part = partition_stream(
             stream.blocks, geometry.num_sets, use_numpy=use_np, profile=profile
         )
         policy.bind(geometry)
         hits = _run_partitioned(part, geometry, policy, None, use_np,
-                                profile=profile)
+                                profile=profile, kernel_jobs=jobs)
         misses = n - hits
+        if jobs > 1 and tier == REPLAY_SET and geometry.num_sets > 1:
+            backend = f"{backend}+threads{min(jobs, geometry.num_sets)}"
     return LlcSimResult(
         policy=policy.name,
         stream_name=stream.name,
@@ -1399,6 +1474,7 @@ def replay_setpath(
         misses=misses,
         elapsed_sec=perf_counter() - start,
         tier=tier,
+        backend=backend,
     )
 
 
@@ -1415,20 +1491,28 @@ def try_fast_replay(
     fastpath: Optional[bool] = None,
     use_numpy: Optional[bool] = None,
     profile=None,
+    native: Optional[bool] = None,
+    kernel_jobs: Optional[int] = None,
 ) -> Optional[LlcSimResult]:
     """Replay through the fastest exact tier, or ``None`` for scalar.
 
     The single dispatch point the replay callers share: resolves the
     effective tier of ``policy`` (a registered name or an **unbound**
     instance), routes ``stack`` to the stack-distance path and
-    ``set``/``dueling`` to the set-partitioned engine, and returns ``None``
-    when the policy must go through the scalar model (scalar tier, bound
-    instance, or fast paths disabled) — the caller then falls back.
+    ``set``/``dueling`` to the set-partitioned engine, and — when the tier
+    resolves to scalar — offers the access to the native scalar backend
+    (:func:`repro.sim.nativepath.try_native_replay`, gated by ``native`` /
+    ``REPRO_SIM_NO_NATIVE``) before returning ``None`` for the model.
+    Because the native hook sits behind the ``fastpath`` gate,
+    ``fastpath=False`` still yields the pure scalar reference the
+    differential suite compares everything against.
 
     ``seed`` feeds the standard ``derive_seed(seed, "replay", name)``
     stream only when ``policy`` is a name; an instance already carries its
     own seed, so callers with bespoke seed derivations (the oracle runner,
-    the characterization report) pass instances.
+    the characterization report) pass instances. ``kernel_jobs`` shards
+    the set-partitioned count kernels intra-replay (see
+    :func:`replay_setpath`).
     """
     if not fastpath_enabled(fastpath):
         return None
@@ -1447,14 +1531,19 @@ def try_fast_replay(
             return None
         result = replay_setpath(
             stream, geometry, instance, observers=observers,
-            use_numpy=use_numpy, profile=profile,
+            use_numpy=use_numpy, profile=profile, kernel_jobs=kernel_jobs,
         )
     else:
-        return None
+        result = try_native_replay(
+            stream, geometry, policy, observers=observers, native=native,
+            use_numpy=use_numpy, profile=profile,
+        )
+        if result is None:
+            return None
     telemetry.emit(
         "span", stage="replay", policy=result.policy,
         stream=result.stream_name, wall_sec=round(result.elapsed_sec, 6),
         accesses=result.accesses, hits=result.hits, misses=result.misses,
-        fastpath=True, tier=result.tier,
+        fastpath=True, tier=result.tier, backend=result.backend,
     )
     return result

@@ -33,6 +33,7 @@ import dataclasses
 import json
 import os
 import platform
+import re
 import time
 from contextlib import contextmanager
 from pathlib import Path
@@ -137,7 +138,15 @@ class RunTelemetry:
     # ------------------------------------------------------------------
 
     def update_manifest(self, **fields) -> None:
-        """Merge ``fields`` into the manifest and rewrite it atomically."""
+        """Merge ``fields`` into the manifest and rewrite it atomically.
+
+        The temp file is fsynced before the rename so a crash right after
+        ``os.replace`` cannot publish an empty or torn manifest, and it is
+        unlinked in a ``finally`` so a failed write (disk full) cannot
+        leak ``tmp{pid}-manifest.json`` behind — ``runs list`` sweeps any
+        orphans an outright *kill* still leaves
+        (:func:`sweep_orphan_manifests`).
+        """
         if self.role != "main":
             return
         self._manifest.update(fields)
@@ -147,10 +156,18 @@ class RunTelemetry:
             f"tmp{os.getpid()}-{MANIFEST_NAME}"
         )
         try:
-            tmp.write_text(payload + "\n", encoding="utf-8")
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, self.manifest_path)
         except OSError:
             pass
+        finally:
+            try:
+                tmp.unlink()  # no-op after a successful replace
+            except OSError:
+                pass
 
     @property
     def manifest(self) -> Dict:
@@ -278,11 +295,19 @@ def describe_environment(context=None) -> Dict:
     import repro
     from repro.common.npsupport import HAVE_NUMPY, numpy
     from repro.sim.fastpath import fastpath_enabled
+    from repro.sim.nativepath import (
+        have_numba,
+        native_enabled,
+        resolve_kernel_jobs,
+    )
 
     fields: Dict = {
         "repro_version": repro.__version__,
         "numpy_available": HAVE_NUMPY,
         "numpy_version": getattr(numpy, "__version__", None) if HAVE_NUMPY else None,
+        "numba_available": have_numba(),
+        "native_backend": native_enabled(),
+        "kernel_jobs": resolve_kernel_jobs(),
     }
     if context is not None:
         from repro.sim.experiment import machine_digest
@@ -355,6 +380,66 @@ def list_runs(
                 on_error(manifest_path, detail)
         runs.append(RunInfo(run_id=run_dir.name, path=run_dir, manifest=manifest))
     return runs
+
+
+_MANIFEST_TMP_MARKER = re.compile(r"^tmp\d+-" + re.escape(MANIFEST_NAME) + r"$")
+"""Per-process temp name used by :meth:`RunTelemetry.update_manifest`.
+
+A run killed between writing its temp manifest and the atomic rename
+leaves ``tmp{pid}-manifest.json`` behind (the in-process ``finally``
+cannot fire on SIGKILL); the sweep below mirrors what the stream cache's
+maintenance helpers do for ``tmp{pid}-*`` artifacts.
+"""
+
+_ORPHAN_GRACE_SEC = 60.0
+"""Minimum age before a temp manifest counts as orphaned.
+
+A live run's atomic rewrite holds its temp file for microseconds; anything
+younger than the grace period might belong to an in-flight writer and is
+left alone.
+"""
+
+
+def orphan_manifest_tmps(
+    root: Optional[Union[str, Path]] = None,
+    min_age_sec: float = _ORPHAN_GRACE_SEC,
+) -> List[Path]:
+    """Orphaned ``tmp{pid}-manifest.json`` files under ``root``'s run dirs."""
+    root = resolve_runs_root(root)
+    if not root.is_dir():
+        return []
+    cutoff = time.time() - min_age_sec
+    orphans: List[Path] = []
+    for run_dir in sorted(path for path in root.iterdir() if path.is_dir()):
+        for path in sorted(run_dir.glob(f"tmp*-{MANIFEST_NAME}")):
+            if not _MANIFEST_TMP_MARKER.match(path.name):
+                continue
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    orphans.append(path)
+            except OSError:
+                continue  # vanished mid-scan: someone else swept it
+    return orphans
+
+
+def sweep_orphan_manifests(
+    root: Optional[Union[str, Path]] = None,
+    min_age_sec: float = _ORPHAN_GRACE_SEC,
+) -> List[Path]:
+    """Delete orphaned manifest temp files; returns the paths removed.
+
+    ``runs list`` calls this so a crashed run cannot leak temp manifests
+    forever (the same contract ``cache info``/``clear`` honour for the
+    stream cache's ``tmp{pid}-*`` artifacts).
+    """
+    removed: List[Path] = []
+    for path in orphan_manifest_tmps(root, min_age_sec=min_age_sec):
+        try:
+            path.unlink()
+            removed.append(path)
+        except OSError:
+            pass
+    return removed
 
 
 def load_run(

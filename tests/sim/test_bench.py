@@ -33,6 +33,9 @@ EXPECTED_CELLS = {
     "warm_replay_drrip",
     "warm_replay_drrip_scalar",
     "warm_replay_ship",
+    "warm_replay_ship_native",
+    "warm_replay_ship_scalar",
+    "warm_replay_srrip_sharded",
     "warm_sweep_grid",
     "warm_sweep_grid_percell",
     "probed_disabled",
@@ -167,6 +170,24 @@ class TestHelpers:
 
         for grid, twin in GRIDPATH_GATE_PAIRS.items():
             assert grid in EXPECTED_CELLS
+            assert twin in EXPECTED_CELLS
+
+    def test_nativepath_speedups_are_ratios_of_minima(self):
+        from repro.sim.bench import NATIVEPATH_GATE_PAIRS, nativepath_speedups
+
+        cells = {
+            "warm_replay_ship_native": {"min_sec": 1.0},
+            "warm_replay_ship_scalar": {"min_sec": 2.5},
+        }
+        speedups = nativepath_speedups(cells)
+        assert set(speedups) == set(NATIVEPATH_GATE_PAIRS)
+        assert speedups["warm_replay_ship_native"] == pytest.approx(2.5)
+
+    def test_nativepath_pairs_are_cells(self):
+        from repro.sim.bench import NATIVEPATH_GATE_PAIRS
+
+        for fast, twin in NATIVEPATH_GATE_PAIRS.items():
+            assert fast in EXPECTED_CELLS
             assert twin in EXPECTED_CELLS
 
 

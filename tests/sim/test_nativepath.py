@@ -1,0 +1,355 @@
+"""Differential tests for the native scalar-tier backend.
+
+The nativepath contract is the same one every other replay tier carries:
+*bit-identity with the scalar model*. SHiP replayed through the compact
+(or numba) kernel must produce exactly the counters
+``LlcOnlySimulator(geometry, ShipPolicy()).run(stream)`` produces —
+including parameterized variants, adversarial hypothesis streams, and the
+single-set degenerate geometry — with the scalar tier recorded (this is a
+faster *backend*, not a new tier) and the kernel that ran recorded in
+``result.backend``. The fallback chain is pinned the same way the grid
+layer pins its forced-scalar cells: gated off, observer-carrying,
+undeclared-subclass, and bound-instance replays all land on the object
+model with ``backend == "model"``.
+
+The intra-replay sharding half of the backend is pinned here too: the
+set-partitioned count kernels split across ``kernel_jobs`` worker threads
+must be bit-identical to the serial pass for the whole non-dueling policy
+matrix (per-set state and per-set RNG streams make the decomposition
+exact — DESIGN.md decision 11).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import CacheGeometry
+from repro.common.npsupport import HAVE_NUMPY
+from repro.common.rng import derive_seed
+from repro.policies.base import REPLAY_SCALAR
+from repro.policies.registry import make_policy
+from repro.policies.ship import ShipPolicy
+from repro.sim.engine import LlcOnlySimulator
+from repro.sim.multipass import run_policy_on_stream
+from repro.sim.nativepath import (
+    KERNEL_JOBS_ENV,
+    NO_NATIVE_ENV,
+    native_eligible,
+    replay_ship_nativepath,
+    resolve_kernel_jobs,
+    try_native_replay,
+)
+from repro.sim.setpath import replay_setpath, try_fast_replay
+from tests.conftest import make_stream
+
+SEED = 11
+
+
+@pytest.fixture(autouse=True)
+def _auto_native_gates(monkeypatch):
+    """Pin the native/sharding env gates to their defaults.
+
+    The CI matrix runs the whole suite with ``REPRO_SIM_NO_NATIVE=1`` (the
+    escape-hatch job); these tests probe the gates themselves, so they
+    must see the unset-auto state regardless of the ambient environment.
+    """
+    monkeypatch.delenv(NO_NATIVE_ENV, raising=False)
+    monkeypatch.delenv(KERNEL_JOBS_ENV, raising=False)
+
+GEOMETRIES = [
+    CacheGeometry(8 * 4 * 64, 4),    # 8 sets x 4 ways
+    CacheGeometry(16 * 8 * 64, 8),   # 16 sets x 8 ways
+    CacheGeometry(1 * 4 * 64, 4),    # single set (set_mask == 0)
+    CacheGeometry(4 * 1 * 64, 1),    # direct-mapped
+]
+
+SHARDED_POLICIES = ("lip", "bip", "nru", "srrip", "brrip", "random")
+
+
+def cell_seed(name: str) -> int:
+    """The seed ``run_policy_on_stream`` derives for a named replay."""
+    return derive_seed(SEED, "replay", name)
+
+
+def mixed_stream(n=4000, spread=160, pcs=5):
+    """A deterministic multi-core read/write stream with PC locality."""
+    accesses = []
+    for i in range(n):
+        block = (i * 7 + (i // 13) * 3) % spread
+        pc = 0x400000 + ((i * 11) % pcs) * 0x24
+        accesses.append((i % 4, pc, block, i % 5 == 0))
+    return make_stream(accesses)
+
+
+accesses_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),          # core
+        st.sampled_from([0x100, 0x2040, 0x85010]),      # pc (distinct sigs)
+        st.integers(min_value=0, max_value=47),         # block
+        st.booleans(),                                  # write
+    ),
+    min_size=1, max_size=250,
+)
+
+
+def scalar_reference(stream, geometry, seed=SEED):
+    """The pure scalar-model SHiP replay nativepath must reproduce."""
+    return run_policy_on_stream(
+        stream, geometry, "ship", seed=seed, fastpath=False
+    )
+
+
+class TestShipBitIdentity:
+    @pytest.mark.parametrize("geometry", GEOMETRIES)
+    def test_matches_scalar_model(self, geometry):
+        stream = mixed_stream()
+        ref = scalar_reference(stream, geometry)
+        native = replay_ship_nativepath(stream, geometry, ShipPolicy())
+        assert native == ref
+        assert native.tier == REPLAY_SCALAR
+        assert native.backend in ("compact", "numba")
+
+    def test_parameter_variants_match(self):
+        stream = mixed_stream(3000, 90)
+        geometry = CacheGeometry(8 * 4 * 64, 4)
+        for rrpv_bits, shct_bits, counter_bits in [
+            (1, 4, 1), (2, 6, 2), (3, 8, 3), (2, 14, 2),
+        ]:
+            variant = ShipPolicy(
+                rrpv_bits=rrpv_bits, shct_bits=shct_bits,
+                counter_bits=counter_bits,
+            )
+            ref = LlcOnlySimulator(
+                geometry,
+                ShipPolicy(rrpv_bits=rrpv_bits, shct_bits=shct_bits,
+                           counter_bits=counter_bits),
+            ).run(stream)
+            assert replay_ship_nativepath(stream, geometry, variant) == ref
+
+    def test_kernel_leaves_instance_untouched(self):
+        stream = mixed_stream(1000, 60)
+        geometry = CacheGeometry(8 * 4 * 64, 4)
+        policy = ShipPolicy()
+        before = list(policy._shct)
+        replay_ship_nativepath(stream, geometry, policy)
+        assert policy.geometry is None
+        assert policy._shct == before
+
+    def test_profile_records_native_stages(self):
+        stream = mixed_stream(1000, 60)
+        profile = {}
+        replay_ship_nativepath(
+            stream, CacheGeometry(8 * 4 * 64, 4), ShipPolicy(),
+            profile=profile,
+        )
+        assert profile["native_prepare"] >= 0.0
+        assert profile["native_kernel"] >= 0.0
+        assert profile["native_backend"] in ("compact", "numba")
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+    def test_numpy_twin_matches_python_signatures(self):
+        # The vectorized and pure-Python signature preparations feed the
+        # same kernel; force each and compare whole results.
+        stream = mixed_stream(2000, 80)
+        geometry = CacheGeometry(8 * 4 * 64, 4)
+        a = replay_ship_nativepath(stream, geometry, ShipPolicy(),
+                                   use_numpy=False)
+        b = replay_ship_nativepath(stream, geometry, ShipPolicy(),
+                                   use_numpy=True)
+        assert a == b
+
+    def test_empty_stream(self):
+        stream = make_stream([])
+        result = replay_ship_nativepath(
+            stream, CacheGeometry(8 * 4 * 64, 4), ShipPolicy()
+        )
+        assert (result.accesses, result.hits, result.misses) == (0, 0, 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(accesses=accesses_strategy)
+    def test_hypothesis_streams(self, accesses):
+        stream = make_stream(accesses)
+        geometry = CacheGeometry(4 * 2 * 64, 2)
+        ref = LlcOnlySimulator(geometry, ShipPolicy()).run(stream)
+        assert replay_ship_nativepath(stream, geometry, ShipPolicy()) == ref
+
+
+class TestFallbackChain:
+    def test_auto_dispatch_records_native_backend(self):
+        stream = mixed_stream(1200, 70)
+        geometry = CacheGeometry(8 * 4 * 64, 4)
+        result = run_policy_on_stream(stream, geometry, "ship", seed=SEED)
+        assert result.tier == REPLAY_SCALAR
+        assert result.backend in ("compact", "numba")
+        assert result == scalar_reference(stream, geometry)
+
+    def test_env_escape_hatch_lands_on_model(self, monkeypatch):
+        stream = mixed_stream(800, 50)
+        geometry = CacheGeometry(8 * 4 * 64, 4)
+        monkeypatch.setenv(NO_NATIVE_ENV, "1")
+        gated = run_policy_on_stream(stream, geometry, "ship", seed=SEED)
+        assert gated.backend == "model"
+        assert gated.tier == REPLAY_SCALAR
+        # =0 counts as unset (the env_flag contract) — native again.
+        monkeypatch.setenv(NO_NATIVE_ENV, "0")
+        auto = run_policy_on_stream(stream, geometry, "ship", seed=SEED)
+        assert auto.backend in ("compact", "numba")
+        assert gated == auto
+
+    def test_native_false_param_lands_on_model(self):
+        stream = mixed_stream(800, 50)
+        geometry = CacheGeometry(8 * 4 * 64, 4)
+        result = run_policy_on_stream(
+            stream, geometry, "ship", seed=SEED, native=False
+        )
+        assert result.backend == "model"
+
+    def test_undeclared_subclass_lands_on_model(self):
+        # Exact-type guard: a subclass must not ride the parent's kernel
+        # (it resolves to the scalar tier through the non-inheriting
+        # REPLAY_TIER, and native_eligible re-checks the exact type).
+        class TweakedShip(ShipPolicy):
+            def on_hit(self, set_index, way, block, pc, core, is_write):
+                self._rrpv[set_index][way] = 1  # not 0: different policy
+
+        stream = mixed_stream(800, 50)
+        geometry = CacheGeometry(8 * 4 * 64, 4)
+        assert not native_eligible(TweakedShip())
+        result = run_policy_on_stream(stream, geometry, TweakedShip())
+        assert result.backend == "model"
+        assert result.tier == REPLAY_SCALAR
+
+    def test_bound_instance_lands_on_model(self):
+        stream = mixed_stream(800, 50)
+        geometry = CacheGeometry(8 * 4 * 64, 4)
+        bound = ShipPolicy()
+        bound.bind(geometry)
+        assert not native_eligible(bound)
+        assert try_native_replay(stream, geometry, bound) is None
+
+    def test_observers_decline(self):
+        class Observer:
+            def residency_started(self, *args): pass
+            def residency_ended(self, *args): pass
+
+        stream = mixed_stream(400, 30)
+        geometry = CacheGeometry(8 * 4 * 64, 4)
+        assert try_native_replay(
+            stream, geometry, "ship", observers=(Observer(),)
+        ) is None
+
+    def test_no_fastpath_still_means_pure_model(self):
+        # The native hook sits behind the fastpath gate, so the
+        # differential suite's fastpath=False reference stays the pure
+        # scalar model.
+        stream = mixed_stream(400, 30)
+        geometry = CacheGeometry(8 * 4 * 64, 4)
+        assert try_fast_replay(
+            stream, geometry, "ship", fastpath=False
+        ) is None
+        result = run_policy_on_stream(
+            stream, geometry, "ship", seed=SEED, fastpath=False
+        )
+        assert result.backend == "model"
+
+    def test_name_and_instance_agree(self):
+        stream = mixed_stream(900, 55)
+        geometry = CacheGeometry(8 * 4 * 64, 4)
+        by_name = try_native_replay(stream, geometry, "ship")
+        by_instance = try_native_replay(stream, geometry, ShipPolicy())
+        assert by_name is not None and by_instance is not None
+        assert by_name == by_instance
+
+    def test_provenance_survives_as_dict(self):
+        stream = mixed_stream(400, 30)
+        geometry = CacheGeometry(8 * 4 * 64, 4)
+        payload = run_policy_on_stream(
+            stream, geometry, "ship", seed=SEED
+        ).as_dict()
+        assert payload["tier"] == REPLAY_SCALAR
+        assert payload["backend"] in ("compact", "numba")
+
+
+class TestKernelJobs:
+    def test_resolution_matrix(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_JOBS_ENV, raising=False)
+        assert resolve_kernel_jobs() == 1
+        assert resolve_kernel_jobs(3) == 3
+        assert resolve_kernel_jobs(0) >= 1
+        monkeypatch.setenv(KERNEL_JOBS_ENV, "4")
+        assert resolve_kernel_jobs() == 4
+        assert resolve_kernel_jobs(2) == 2  # explicit beats env
+        monkeypatch.setenv(KERNEL_JOBS_ENV, "not-a-number")
+        assert resolve_kernel_jobs() == 1
+        monkeypatch.setenv(KERNEL_JOBS_ENV, "-5")
+        assert resolve_kernel_jobs() == 1
+
+    @pytest.mark.parametrize("policy", SHARDED_POLICIES)
+    def test_sharded_bit_identity(self, policy):
+        stream = mixed_stream()
+        geometry = CacheGeometry(8 * 4 * 64, 4)
+        serial = run_policy_on_stream(stream, geometry, policy, seed=SEED)
+        for jobs in (2, 3, 8, 64):
+            sharded = run_policy_on_stream(
+                stream, geometry, policy, seed=SEED, kernel_jobs=jobs
+            )
+            assert sharded == serial, (policy, jobs)
+            assert sharded.backend.endswith(
+                f"+threads{min(jobs, geometry.num_sets)}"
+            )
+
+    def test_dueling_stays_serial_and_exact(self):
+        stream = mixed_stream()
+        geometry = CacheGeometry(8 * 4 * 64, 4)
+        for policy in ("dip", "drrip"):
+            serial = run_policy_on_stream(stream, geometry, policy, seed=SEED)
+            sharded = run_policy_on_stream(
+                stream, geometry, policy, seed=SEED, kernel_jobs=4
+            )
+            assert sharded == serial
+            assert "+threads" not in sharded.backend
+
+    def test_env_default_shards(self, monkeypatch):
+        stream = mixed_stream(2000, 90)
+        geometry = CacheGeometry(8 * 4 * 64, 4)
+        serial = run_policy_on_stream(stream, geometry, "srrip", seed=SEED)
+        monkeypatch.setenv(KERNEL_JOBS_ENV, "2")
+        sharded = run_policy_on_stream(stream, geometry, "srrip", seed=SEED)
+        assert sharded == serial
+        assert sharded.backend.endswith("+threads2")
+
+    def test_single_set_geometry_stays_serial(self):
+        stream = mixed_stream(600, 40)
+        geometry = CacheGeometry(1 * 4 * 64, 4)
+        result = run_policy_on_stream(
+            stream, geometry, "srrip", seed=SEED, kernel_jobs=4
+        )
+        assert "+threads" not in result.backend
+        assert result == run_policy_on_stream(
+            stream, geometry, "srrip", seed=SEED
+        )
+
+    def test_sharded_instance_replay(self):
+        # replay_setpath's own kernel_jobs knob, with a stochastic policy:
+        # per-set RNG streams are pre-created serially, then shards draw
+        # from them without interleaving hazards.
+        stream = mixed_stream(3000, 120)
+        geometry = CacheGeometry(16 * 4 * 64, 4)
+        serial = replay_setpath(
+            stream, geometry, make_policy("brrip", seed=9)
+        )
+        sharded = replay_setpath(
+            stream, geometry, make_policy("brrip", seed=9), kernel_jobs=4
+        )
+        assert sharded == serial
+
+    @settings(max_examples=25, deadline=None)
+    @given(accesses=accesses_strategy)
+    def test_hypothesis_sharded_streams(self, accesses):
+        stream = make_stream(accesses)
+        geometry = CacheGeometry(4 * 2 * 64, 2)
+        for policy in ("srrip", "random"):
+            serial = run_policy_on_stream(stream, geometry, policy, seed=3)
+            sharded = run_policy_on_stream(
+                stream, geometry, policy, seed=3, kernel_jobs=4
+            )
+            assert sharded == serial

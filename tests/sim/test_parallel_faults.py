@@ -18,10 +18,12 @@ from repro.sim.experiment import ExperimentContext
 from repro.sim.parallel import (
     FAULT_ENV,
     FAULT_STATE_ENV,
+    MAX_BACKOFF,
     CellTimeoutError,
     ExperimentCell,
     compare_many,
     oracle_many,
+    retry_delay,
     run_cells,
     sweep_many,
 )
@@ -68,6 +70,59 @@ class TestValidation:
             ExperimentContext(tiny_machine, target_accesses=-5)
         with pytest.raises(ConfigError):
             ExperimentContext(tiny_machine, seed=-1)
+
+
+class TestBackoffCap:
+    def test_retry_delay_doubles_then_caps(self):
+        # Uncapped, backoff * 2**(attempts-1) reaches an hour by attempt
+        # 14 of a 0.25s base — a "retry budget" that silently turns into
+        # a hang. The ceiling bounds every single delay.
+        assert retry_delay(0.25, 1) == 0.25
+        assert retry_delay(0.25, 2) == 0.5
+        assert retry_delay(0.25, 3) == 1.0
+        assert retry_delay(0.25, 8) == MAX_BACKOFF
+        assert retry_delay(0.25, 60) == MAX_BACKOFF
+        assert retry_delay(1e9, 1) == MAX_BACKOFF
+        assert retry_delay(0.0, 5) == 0.0
+        assert MAX_BACKOFF == 30.0
+
+    def test_serial_retry_sleeps_are_capped(self, context, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.sim.parallel.time.sleep", lambda s: sleeps.append(s)
+        )
+        monkeypatch.setenv(FAULT_ENV, "oracle:water:raise")
+        studies = oracle_many(
+            context, ["water"], jobs=1,
+            fail_fast=False, retries=6, backoff=1e6,
+        )
+        assert studies["water"].attempts == 7
+        assert len(sleeps) == 6  # one delay per retry, none after the last
+        assert all(s <= MAX_BACKOFF for s in sleeps)
+        assert max(sleeps) == MAX_BACKOFF  # the cap actually engaged
+
+    def test_pool_retry_deadlines_are_capped(self, tiny_machine, monkeypatch):
+        # The pool path spaces retries through not_before deadlines rather
+        # than sleeping inline; a pathological backoff must still let the
+        # sweep finish promptly instead of parking the cell for minutes.
+        # The retry scheduling runs in the parent process, so shrinking the
+        # ceiling there keeps the test fast while exercising the same
+        # min(..., MAX_BACKOFF) the production 30s ceiling uses.
+        import time as _time
+
+        monkeypatch.setattr("repro.sim.parallel.MAX_BACKOFF", 0.5)
+        monkeypatch.setenv(FAULT_ENV, "compare:water:raise")
+        start = _time.monotonic()
+        results = compare_many(
+            fresh_context(tiny_machine), WORKLOADS, ["lru"],
+            jobs=2, fail_fast=False, retries=1, backoff=1e6,
+        )
+        elapsed = _time.monotonic() - start
+        assert is_failure(results["water"])
+        assert results["water"].attempts == 2
+        # An uncapped 1e6s backoff would park the cell for 11 days; with
+        # the ceiling engaged the sweep returns in pool-overhead time.
+        assert elapsed < 60.0
 
 
 class TestSerialGraceful:

@@ -252,10 +252,40 @@ class TestDispatch:
         monkeypatch.delenv(FASTPATH_ENV)
         assert try_fast_replay(stream, geometry, "srrip") is not None
 
-    def test_scalar_tier_declines(self):
+    def test_scalar_tier_takes_native_backend(self, monkeypatch):
+        # SHiP resolves to the scalar tier but is covered by the native
+        # scalar backend: dispatch returns a scalar-tier result whose
+        # backend records the native kernel, not the object model.
+        monkeypatch.delenv("REPRO_SIM_NO_NATIVE", raising=False)
         stream = mixed_stream(n=500)
         geometry = CacheGeometry(8 * 4 * 64, 4)
-        assert try_fast_replay(stream, geometry, "ship") is None
+        result = try_fast_replay(stream, geometry, "ship")
+        assert result is not None
+        assert result.tier == "scalar"
+        assert result.backend in ("compact", "numba")
+
+    def test_scalar_tier_declines_without_native(self):
+        stream = mixed_stream(n=500)
+        geometry = CacheGeometry(8 * 4 * 64, 4)
+        assert try_fast_replay(stream, geometry, "ship", native=False) is None
+
+    def test_uncovered_scalar_policies_decline(self):
+        # Observer-carrying SHiP replays need the scalar model's residency
+        # callbacks; bound instances carry state no offline kernel
+        # reconstructs. Both fall through to the model.
+        stream = mixed_stream(n=500)
+        geometry = CacheGeometry(8 * 4 * 64, 4)
+
+        class Observer:
+            def residency_started(self, *a): pass
+            def residency_ended(self, *a): pass
+
+        assert try_fast_replay(
+            stream, geometry, "ship", observers=(Observer(),)
+        ) is None
+        bound = make_policy("ship", seed=1)
+        bound.bind(geometry)
+        assert try_fast_replay(stream, geometry, bound) is None
 
     def test_tiers_are_recorded_on_results(self):
         stream = mixed_stream(n=500)

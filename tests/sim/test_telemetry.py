@@ -78,6 +78,79 @@ class TestRunLifecycle:
         run.update_manifest(orphan=True)  # must not raise
 
 
+class TestManifestHardening:
+    def test_failed_replace_leaves_no_tmp(self, run, monkeypatch):
+        # A write that dies between tmp-write and publish (disk full,
+        # permission flip) must neither raise nor leak the temp file.
+        before = json.loads(run.manifest_path.read_text())
+
+        def broken_replace(src, dst):
+            raise OSError("simulated rename failure")
+
+        monkeypatch.setattr(telemetry.os, "replace", broken_replace)
+        run.update_manifest(machine="tiny")  # must not raise
+        monkeypatch.undo()
+        leftovers = [p for p in run.run_dir.iterdir()
+                     if p.name.startswith("tmp")]
+        assert leftovers == []
+        # The published manifest is the last good one, not a torn write.
+        assert json.loads(run.manifest_path.read_text()) == before
+
+    def test_failed_fsync_leaves_no_tmp(self, run, monkeypatch):
+        def broken_fsync(fd):
+            raise OSError("simulated fsync failure")
+
+        monkeypatch.setattr(telemetry.os, "fsync", broken_fsync)
+        run.update_manifest(seed=7)  # must not raise
+        monkeypatch.undo()
+        leftovers = [p for p in run.run_dir.iterdir()
+                     if p.name.startswith("tmp")]
+        assert leftovers == []
+
+    def test_orphan_sweep_removes_stale_spares_fresh(self, tmp_path, run):
+        import os as _os
+
+        stale = run.run_dir / f"tmp99999-{telemetry.MANIFEST_NAME}"
+        stale.write_text("{}")
+        _os.utime(stale, (1, 1))  # ancient
+        fresh = run.run_dir / f"tmp88888-{telemetry.MANIFEST_NAME}"
+        fresh.write_text("{}")  # mtime now: a live writer's in-flight tmp
+        unrelated = run.run_dir / "tmpnotapid-manifest.json"
+        unrelated.write_text("{}")
+        _os.utime(unrelated, (1, 1))
+
+        assert telemetry.orphan_manifest_tmps(tmp_path) == [stale]
+        removed = telemetry.sweep_orphan_manifests(tmp_path)
+        assert removed == [stale]
+        assert not stale.exists()
+        assert fresh.exists()      # grace period protects live writers
+        assert unrelated.exists()  # only the tmp{pid}- pattern is swept
+        # The real manifest is untouched.
+        assert run.manifest_path.exists()
+
+    def test_sweep_missing_root_is_empty(self, tmp_path):
+        assert telemetry.sweep_orphan_manifests(tmp_path / "nope") == []
+
+    def test_runs_list_sweeps_orphans(self, capsys, tmp_path):
+        import os as _os
+
+        cache = str(tmp_path / "cache")
+        assert main(["compare", *FAST, "--policies", "lru",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        run_dir = runs_under(cache)[0].path
+        stale = run_dir / f"tmp77777-{telemetry.MANIFEST_NAME}"
+        stale.write_text("{}")
+        _os.utime(stale, (1, 1))
+        assert main(["runs", "list", "--cache-dir", cache]) == 0
+        captured = capsys.readouterr()
+        assert not stale.exists()
+        assert "swept 1 orphaned manifest temp" in captured.err
+        # A clean second listing stays quiet.
+        assert main(["runs", "list", "--cache-dir", cache]) == 0
+        assert "swept" not in capsys.readouterr().err
+
+
 class TestSpansAndCurrent:
     def test_span_records_wall_time_and_extras(self, run):
         with run.span("trace_gen", workload="water") as extras:
