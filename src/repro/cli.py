@@ -12,6 +12,7 @@ Subcommands mirror the paper's studies:
 * ``record``       — record a workload's LLC stream to a file
 * ``replay``       — replay a recorded stream under chosen policies
 * ``inspect``      — microarchitectural probe report per workload
+* ``fuzz``         — scenario fuzzing: mine policy inversions at scale
 * ``bench``        — timed warm-sweep cells -> BENCH_<rev>.json trajectory
 * ``cache``        — inspect or clear the persistent stream cache
 * ``list``         — available workloads, policies, profiles
@@ -627,11 +628,14 @@ def cmd_replay(args) -> int:
         row = [stream.name]
         for policy in args.policies:
             if args.sample_ratio > 1:
-                simulator = SampledLlcSimulator(
+                # The sampled-set slice derives from the seed (and stream)
+                # so sampled replays are reproducible from the seed alone,
+                # matching the fuzz harness's campaign cells.
+                simulator = SampledLlcSimulator.from_seed(
                     geometry,
                     make_policy(policy,
                                 seed=derive_seed(args.seed, "replay", policy)),
-                    sample_ratio=args.sample_ratio,
+                    args.seed, args.sample_ratio, stream.name,
                 )
                 row.append(simulator.run(stream).miss_ratio)
             else:
@@ -685,6 +689,183 @@ def cmd_inspect(args) -> int:
             print()
         print(render_probe_report(report))
     return 0
+
+
+def _parse_trace_spec(spec: str):
+    """``PATH`` or ``PATH:FMT`` -> (path, fmt) for the trace ingester.
+
+    A trailing ``:token`` that looks like a format name (no path
+    separators or dots) but isn't a known format is rejected — a typo'd
+    format must not silently degrade into a missing-file cell failure.
+    """
+    from repro.trace.ingest import _FORMATS
+
+    path, sep, fmt = spec.rpartition(":")
+    if sep and fmt in _FORMATS:
+        return path, fmt
+    if sep and fmt and "/" not in fmt and "." not in fmt:
+        raise argparse.ArgumentTypeError(
+            f"unknown trace format {fmt!r}; expected one of "
+            f"{', '.join(_FORMATS)}"
+        )
+    return spec, "auto"
+
+
+def _fuzz_config(args):
+    from repro.sim.fuzz import FuzzConfig
+
+    return FuzzConfig(
+        seed=args.seed,
+        scenarios=args.scenarios,
+        policies=tuple(args.policies),
+        base=args.base,
+        accesses=args.accesses,
+        sample_ratio=args.sample_ratio,
+        flip_margin=args.flip_margin,
+        spike_threshold=args.spike_threshold,
+        mix_fraction=args.mix_fraction,
+        max_full=args.max_full,
+        trace_files=tuple(args.trace),
+        fastpath=_fastpath_spec(args),
+    )
+
+
+def _flip_labels(record) -> str:
+    flips = record.get("flips") or []
+    labels = [f"{f['expected_better']}>{f['expected_worse']}" for f in flips]
+    return ",".join(labels) if labels else "-"
+
+
+def cmd_fuzz_run(args) -> int:
+    from repro.sim.fuzz import run_fuzz_campaign
+
+    config = _fuzz_config(args)
+    with _telemetry_run(args, "fuzz", None) as run:
+        if run:
+            run.update_manifest(fuzz=config.as_dict(), jobs=args.jobs)
+        corpus = run_fuzz_campaign(
+            config, jobs=args.jobs, **_run_kwargs(args)
+        )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(corpus, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    interesting = corpus["interesting"]
+    mismatches = corpus["mismatches"]
+    failures = corpus["failures"]
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["scenarios run", len(corpus["scenarios"])],
+            ["frontier (best->worst)", " > ".join(corpus["frontier"])],
+            ["interesting cells", len(interesting)],
+            ["full-fidelity re-runs", len(corpus["full"])],
+            ["sampled-vs-full mismatches", len(mismatches)],
+            ["failed cells", len(failures)],
+            ["corpus", args.output],
+        ],
+        title=f"Fuzz campaign (seed {config.seed}, "
+              f"1/{config.sample_ratio} sets sampled)",
+    ))
+    for failure in failures:
+        print(f"warning: cell ({failure['kind']}, {failure['workload']}) "
+              f"failed: {failure['error_type']}: {failure['error']}",
+              file=sys.stderr)
+    if mismatches:
+        for entry in mismatches:
+            print(f"error: cell {entry['id']} sampled-vs-full MISMATCH: "
+                  f"{entry}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_fuzz_triage(args) -> int:
+    from repro.sim.fuzz import corpus_scenario, load_corpus
+
+    corpus = load_corpus(args.corpus)
+    means = corpus.get("policy_mean_miss_ratio", {})
+    print(render_table(
+        ["policy", "mean miss ratio"],
+        [[policy, round(means.get(policy, 0.0), 4)]
+         for policy in corpus["frontier"]],
+        title=f"Reference frontier ({len(corpus['scenarios'])} scenarios, "
+              f"seed {corpus['config']['seed']})",
+    ))
+    rows = []
+    for scenario_id in corpus["interesting"][: args.limit]:
+        record = corpus_scenario(corpus, scenario_id)
+        full = corpus.get("full", {}).get(scenario_id)
+        rows.append([
+            scenario_id, record["kind"],
+            f"c{record['cores']} {record['llc_sets']}x{record['llc_ways']}",
+            _flip_labels(record),
+            round(record.get("oracle_gain", 0.0), 4),
+            "yes" if record.get("oracle_spike") else "no",
+            ("ok" if full["sampled_match"] and full["fastpath_match"]
+             else "MISMATCH") if full else "-",
+        ])
+    shown = len(rows)
+    total = len(corpus["interesting"])
+    print(render_table(
+        ["cell", "kind", "machine", "flips", "oracle gain", "spike",
+         "full check"],
+        rows,
+        title=f"Interesting cells ({shown} of {total} shown)",
+    ))
+    if corpus.get("mismatches"):
+        print(f"error: corpus records {len(corpus['mismatches'])} "
+              f"sampled-vs-full mismatch(es)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_fuzz_replay_cell(args) -> int:
+    from repro.sim.fuzz import (
+        DEFAULT_PROBES,
+        load_corpus,
+        replay_corpus_cell,
+    )
+
+    corpus = load_corpus(args.corpus)
+    probes = () if args.no_probes else DEFAULT_PROBES
+    record = replay_corpus_cell(corpus, args.cell_id, probes=probes)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    rows = [
+        ["llc accesses", record["llc_accesses"]],
+        ["sampled accesses", record["sampled_accesses"]],
+        ["sampled counts match corpus",
+         "yes" if record["sampled_match"] else "NO"],
+        ["substream matches reference sampler",
+         "yes" if record["sampled_reference_match"] else "NO"],
+        ["full tiered matches --no-fastpath",
+         "yes" if record["fastpath_match"] else "NO"],
+        ["full oracle gain", round(record["oracle_gain_full"], 4)],
+    ]
+    for policy, cell in record["full"].items():
+        rows.append([f"{policy} full miss ratio",
+                     round(cell["miss_ratio"], 4)])
+    print(render_table(
+        ["check", "value"], rows,
+        title=f"Full-fidelity replay of {args.cell_id}",
+    ))
+    ok = (record["sampled_match"] and record["sampled_reference_match"]
+          and record["fastpath_match"])
+    if not ok:
+        print(f"error: cell {args.cell_id} did NOT reproduce bit-identically",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_fuzz(args) -> int:
+    handler = {
+        "run": cmd_fuzz_run,
+        "triage": cmd_fuzz_triage,
+        "replay-cell": cmd_fuzz_replay_cell,
+    }[args.fuzz_action]
+    return handler(args)
 
 
 def cmd_bench(args) -> int:
@@ -975,6 +1156,85 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = subparsers.add_parser(
+        "fuzz",
+        help="scenario fuzzing: mine policy inversions at scale",
+    )
+    fuzz_sub = p.add_subparsers(dest="fuzz_action", required=True)
+
+    fp = fuzz_sub.add_parser(
+        "run", help="run a seeded campaign and emit inversions.json"
+    )
+    fp.add_argument("--scenarios", type=_nonnegative_int, default=100,
+                    metavar="N",
+                    help="synthetic scenarios to sample (default: 100)")
+    fp.add_argument("--seed", type=_nonnegative_int, default=42,
+                    help="campaign seed; every cell derives from it")
+    fp.add_argument("--policies", nargs="*",
+                    default=["lru", "lip", "srrip", "drrip", "ship"],
+                    choices=POLICY_NAMES,
+                    help="policy grid replayed per scenario")
+    fp.add_argument("--base", default="lru", choices=POLICY_NAMES,
+                    help="oracle base policy (default: lru)")
+    fp.add_argument("--accesses", type=_positive_int, default=6000,
+                    help="per-scenario trace budget (default: 6000)")
+    fp.add_argument("--sample-ratio", type=_positive_int, default=4,
+                    metavar="N",
+                    help="simulate every Nth LLC set during the campaign "
+                         "sweep (default: 4)")
+    fp.add_argument("--flip-margin", type=_positive_float, default=0.02,
+                    metavar="FRAC",
+                    help="miss-ratio margin declaring an ordering flip "
+                         "(default: 0.02)")
+    fp.add_argument("--spike-threshold", type=_positive_float, default=0.08,
+                    metavar="FRAC",
+                    help="sampled oracle gain declaring a spike "
+                         "(default: 0.08)")
+    fp.add_argument("--mix-fraction", type=float, default=0.25,
+                    metavar="FRAC",
+                    help="fraction of scenarios drawn as f10-style "
+                         "multiprogram mixes (default: 0.25)")
+    fp.add_argument("--max-full", type=_nonnegative_int, default=16,
+                    metavar="N",
+                    help="cap on full-fidelity re-runs of interesting "
+                         "cells (default: 16)")
+    fp.add_argument("--trace", action="append", default=[],
+                    type=_parse_trace_spec, metavar="PATH[:FMT]",
+                    help="ingest an external ChampSim/Pin trace as an "
+                         "extra scenario (FMT: champsim|pin|auto; "
+                         "repeatable)")
+    fp.add_argument("--output", default="inversions.json", metavar="FILE",
+                    help="corpus output path (default: inversions.json)")
+    fp.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="directory whose runs/ receives telemetry "
+                         "(default: $REPRO_SIM_CACHE_DIR or "
+                         "~/.cache/repro-sim)")
+    tg = fp.add_mutually_exclusive_group()
+    tg.add_argument("--telemetry", dest="telemetry", action="store_true",
+                    default=True, help="record a telemetry run (default)")
+    tg.add_argument("--no-telemetry", dest="telemetry",
+                    action="store_false", help="disable run telemetry")
+    _add_jobs_argument(fp)
+    _add_fastpath_argument(fp)
+
+    fp = fuzz_sub.add_parser(
+        "triage", help="summarise a corpus: frontier + interesting cells"
+    )
+    fp.add_argument("corpus", help="inversions.json from 'fuzz run'")
+    fp.add_argument("--limit", type=_positive_int, default=20,
+                    help="interesting cells to show (default: 20)")
+
+    fp = fuzz_sub.add_parser(
+        "replay-cell",
+        help="reproduce one corpus cell at full fidelity with probes",
+    )
+    fp.add_argument("corpus", help="inversions.json from 'fuzz run'")
+    fp.add_argument("cell_id", help="scenario id (e.g. s00042)")
+    fp.add_argument("--output", default=None, metavar="FILE",
+                    help="write the full-fidelity record as JSON")
+    fp.add_argument("--no-probes", action="store_true",
+                    help="skip probe evidence (faster)")
+
+    p = subparsers.add_parser(
         "bench",
         help="timed warm-sweep cells -> BENCH_<rev>.json trajectory",
     )
@@ -1046,6 +1306,7 @@ _COMMANDS = {
     "record": cmd_record,
     "replay": cmd_replay,
     "inspect": cmd_inspect,
+    "fuzz": cmd_fuzz,
     "bench": cmd_bench,
     "cache": cmd_cache,
     "runs": cmd_runs,

@@ -16,7 +16,21 @@ from repro.sim.multipass import (
     run_policy_on_stream,
 )
 from repro.sim.experiment import ExperimentContext, WorkloadArtifacts
-from repro.sim.sampling import SampledLlcSimulator, SampledResult
+from repro.sim.sampling import (
+    SampledLlcSimulator,
+    SampledResult,
+    sampled_geometry,
+    sampled_substream,
+)
+from repro.sim.fuzz import (
+    FuzzConfig,
+    detect_inversions,
+    replay_corpus_cell,
+    replay_scenario_full,
+    run_fuzz_campaign,
+    run_fuzz_scenario,
+    sample_scenario,
+)
 
 __all__ = [
     "LlcOnlySimulator",
@@ -29,4 +43,13 @@ __all__ = [
     "WorkloadArtifacts",
     "SampledLlcSimulator",
     "SampledResult",
+    "sampled_geometry",
+    "sampled_substream",
+    "FuzzConfig",
+    "detect_inversions",
+    "replay_corpus_cell",
+    "replay_scenario_full",
+    "run_fuzz_campaign",
+    "run_fuzz_scenario",
+    "sample_scenario",
 ]

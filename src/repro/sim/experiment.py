@@ -400,6 +400,28 @@ class ExperimentContext:
             )
         return PolicyComparison(stream_name=artifacts.stream.name, results=results)
 
+    def sampled_replay(
+        self, name: str, policy: str, sample_ratio: int = 16
+    ):
+        """Set-sampled replay of one workload under ``policy``.
+
+        The sampled-set slice (which offset of every ``sample_ratio``-th
+        set to simulate) derives from this context's seed and the
+        workload name — never from module-level RNG state — so a sampled
+        campaign is exactly reproducible from ``(seed, workload)`` alone.
+        Returns a :class:`repro.sim.sampling.SampledResult`.
+        """
+        from repro.policies.registry import make_policy
+        from repro.sim.sampling import SampledLlcSimulator
+
+        artifacts = self.artifacts(name)
+        simulator = SampledLlcSimulator.from_seed(
+            self.geometry,
+            make_policy(policy, seed=derive_seed(self.seed, "replay", policy)),
+            self.seed, sample_ratio, name,
+        )
+        return simulator.run(artifacts.stream)
+
     def oracle_study(
         self, name: str, base: str = "lru", mode: str = "both",
         release: str = "budget", horizon_turnovers: float = 1.75,

@@ -198,6 +198,15 @@ class ExperimentCell:
 def execute_cell(context, cell: ExperimentCell):
     """Run one cell against ``context``. Shared by serial and worker paths."""
     _maybe_inject_fault(cell)
+    if cell.kind in ("fuzz", "fuzz_full"):
+        # Fuzz cells carry their whole scenario in params and build their
+        # own machines; they must dispatch before the artifact fetch, whose
+        # registry lookup would reject the scenario id as a workload name.
+        from repro.sim import fuzz
+
+        if cell.kind == "fuzz":
+            return fuzz.execute_fuzz_cell(context, cell)
+        return fuzz.execute_fuzz_full_cell(context, cell)
     artifacts = context.artifacts(cell.workload)
     if cell.kind == "record":
         return cell.workload, artifacts

@@ -1,0 +1,181 @@
+"""External trace ingestion (ChampSim / Pin-style).
+
+Real-application traces enter the pipeline through this module and come
+out as ordinary :class:`~repro.trace.trace.Trace` objects, so everything
+downstream — hierarchy recording, replay tiers, probes, the fuzzing
+harness — treats them exactly like synthetic generator output.
+
+Two formats are supported:
+
+* **ChampSim** binary instruction traces: fixed 64-byte records
+  ``{ip u64, is_branch u8, branch_taken u8, destination_registers u8[2],
+  source_registers u8[4], destination_memory u64[2], source_memory
+  u64[4]}``, little-endian. Each non-zero ``source_memory`` slot becomes a
+  load and each non-zero ``destination_memory`` slot a store, in record
+  order. ChampSim traces are single-threaded; all accesses carry the
+  ``tid`` passed by the caller (default 0). ``.gz`` and ``.xz`` files are
+  decompressed transparently.
+* **Pin** ``pinatrace``-style text: one access per line. The classic
+  two-column form ``<pc>: R <addr>`` (tid 0) and a multi-threaded
+  four-column form ``<tid> <R|W> <addr> <pc>`` are both recognised, per
+  line. ``#``-prefixed lines and blanks are skipped.
+
+Addresses and PCs are masked to 63 bits so they fit the signed i64 trace
+columns.
+"""
+
+import gzip
+import lzma
+import struct
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.common.errors import TraceError
+from repro.trace.trace import Trace, TraceBuilder
+
+CHAMPSIM_RECORD = struct.Struct("<QBB2B4B2Q4Q")
+"""One ChampSim ``input_instr`` record (64 bytes, little-endian)."""
+
+_I63_MASK = (1 << 63) - 1
+
+_FORMATS = ("auto", "champsim", "pin")
+
+
+def _open_maybe_compressed(path: Path):
+    suffix = path.suffix.lower()
+    if suffix == ".gz":
+        return gzip.open(path, "rb")
+    if suffix == ".xz":
+        return lzma.open(path, "rb")
+    return open(path, "rb")
+
+
+def read_champsim_trace(path: Union[str, Path], tid: int = 0,
+                        limit: Optional[int] = None,
+                        name: Optional[str] = None) -> Trace:
+    """Decode a ChampSim binary instruction trace into a :class:`Trace`.
+
+    ``limit`` caps the number of *memory accesses* emitted (not
+    instruction records); ``None`` reads the whole file.
+    """
+    path = Path(path)
+    record = CHAMPSIM_RECORD
+    builder = TraceBuilder(name=name or path.name)
+    with _open_maybe_compressed(path) as handle:
+        while limit is None or len(builder) < limit:
+            chunk = handle.read(record.size)
+            if not chunk:
+                break
+            if len(chunk) != record.size:
+                raise TraceError(
+                    f"{path}: truncated ChampSim record "
+                    f"({len(chunk)} of {record.size} bytes)"
+                )
+            fields = record.unpack(chunk)
+            ip = fields[0] & _I63_MASK
+            dest_mem = fields[8:10]
+            src_mem = fields[10:14]
+            for addr in src_mem:
+                if addr:
+                    builder.append(tid, ip, addr & _I63_MASK, False)
+                    if limit is not None and len(builder) >= limit:
+                        break
+            for addr in dest_mem:
+                if limit is not None and len(builder) >= limit:
+                    break
+                if addr:
+                    builder.append(tid, ip, addr & _I63_MASK, True)
+    if not len(builder):
+        raise TraceError(f"{path}: no memory accesses decoded")
+    return builder.build()
+
+
+def _parse_int(token: str, path: Path, lineno: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise TraceError(f"{path}:{lineno}: bad number {token!r}")
+
+
+def _parse_pin_line(parts, path: Path, lineno: int):
+    """One pin-text access as ``(tid, pc, addr, is_write)``, or None."""
+    if len(parts) == 3 and parts[0].endswith(":"):
+        # pinatrace classic: "<pc>: R <addr>"
+        op = parts[1].upper()
+        if op not in ("R", "W"):
+            raise TraceError(f"{path}:{lineno}: bad op {parts[1]!r}")
+        pc = _parse_int(parts[0][:-1], path, lineno)
+        addr = _parse_int(parts[2], path, lineno)
+        return 0, pc, addr, op == "W"
+    if len(parts) == 4:
+        # multi-threaded: "<tid> <R|W> <addr> <pc>"
+        op = parts[1].upper()
+        if op not in ("R", "W"):
+            raise TraceError(f"{path}:{lineno}: bad op {parts[1]!r}")
+        tid = _parse_int(parts[0], path, lineno)
+        addr = _parse_int(parts[2], path, lineno)
+        pc = _parse_int(parts[3], path, lineno)
+        return tid, pc, addr, op == "W"
+    raise TraceError(
+        f"{path}:{lineno}: unrecognised pin line ({len(parts)} fields)"
+    )
+
+
+def read_pin_trace(path: Union[str, Path], limit: Optional[int] = None,
+                   name: Optional[str] = None) -> Trace:
+    """Decode a Pin ``pinatrace``-style text trace into a :class:`Trace`."""
+    path = Path(path)
+    builder = TraceBuilder(name=name or path.name)
+    with _open_maybe_compressed(path) as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            if limit is not None and len(builder) >= limit:
+                break
+            try:
+                line = raw.decode("utf-8").strip()
+            except UnicodeDecodeError:
+                raise TraceError(f"{path}:{lineno}: not a text trace")
+            if not line or line.startswith("#") or line.startswith("//"):
+                continue
+            parts = line.split()
+            tid, pc, addr, is_write = _parse_pin_line(parts, path, lineno)
+            builder.append(tid, pc & _I63_MASK, addr & _I63_MASK, is_write)
+    if not len(builder):
+        raise TraceError(f"{path}: no memory accesses decoded")
+    return builder.build()
+
+
+def _sniff_format(path: Path) -> str:
+    """Guess champsim-vs-pin from the filename, then the leading bytes."""
+    stem = path.name.lower()
+    if "champsim" in stem:
+        return "champsim"
+    if "pin" in stem or stem.endswith(".out") or stem.endswith(".txt"):
+        return "pin"
+    with _open_maybe_compressed(path) as handle:
+        head = handle.read(256)
+    try:
+        text = head.decode("utf-8")
+    except UnicodeDecodeError:
+        return "champsim"
+    printable = sum(ch.isprintable() or ch in "\r\n\t" for ch in text)
+    return "pin" if text and printable == len(text) else "champsim"
+
+
+def read_external_trace(path: Union[str, Path], fmt: str = "auto",
+                        tid: int = 0, limit: Optional[int] = None,
+                        name: Optional[str] = None) -> Trace:
+    """Ingest an external trace file in any supported format.
+
+    ``fmt`` is ``"champsim"``, ``"pin"``, or ``"auto"`` (sniff by filename
+    then content).
+    """
+    if fmt not in _FORMATS:
+        raise TraceError(f"unknown trace format {fmt!r}; expected {_FORMATS}")
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace file not found: {path}")
+    if fmt == "auto":
+        fmt = _sniff_format(path)
+    if fmt == "champsim":
+        return read_champsim_trace(path, tid=tid, limit=limit, name=name)
+    return read_pin_trace(path, limit=limit, name=name)

@@ -1,0 +1,367 @@
+"""Randomized sharing-kernel mixes for the scenario fuzzing fleet.
+
+A :class:`FuzzKernelMixModel` is a :class:`~repro.workloads.base.WorkloadModel`
+assembled at runtime from a JSON-able *spec* instead of being hand-written
+like the PARSEC/SPLASH-2/SPEC-OMP models: the spec lists kernel instances
+(drawn from :mod:`repro.workloads.kernels`), their parameters, and a phase
+schedule (each instance fires on ``iteration % period == offset``). Specs
+come from :func:`sample_kernel_mix`, which draws every parameter from a
+:class:`~repro.common.rng.DeterministicRng`, so a whole scenario is
+reproducible bit-for-bit from its seed — the property the fuzzing harness
+(:mod:`repro.sim.fuzz`) and the shared test-strategy library
+(``tests/strategies.py``) both build on.
+
+Footprints in a spec are *absolute block counts* (not full-scale counts to
+be divided like the suite models use): the sampler sizes them relative to
+the scenario machine's LLC so capacity pressure spans under-fitting to
+many-times-over-capacity mixes. Generate with ``scale=1``.
+"""
+
+from typing import Dict, List, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRng
+from repro.workloads.base import GeneratorContext, WorkloadModel
+from repro.workloads.kernels import (
+    emit_broadcast,
+    emit_halo_exchange,
+    emit_lock_hotspot,
+    emit_migratory,
+    emit_private_hotset,
+    emit_private_stream,
+    emit_producer_consumer,
+    emit_reduction,
+    emit_shared_readonly,
+    emit_shared_rw_random,
+    emit_task_queue,
+)
+
+KERNEL_NAMES: Tuple[str, ...] = (
+    "private_stream",
+    "private_hotset",
+    "shared_readonly",
+    "shared_rw_random",
+    "producer_consumer",
+    "migratory",
+    "halo_exchange",
+    "reduction",
+    "lock_hotspot",
+    "task_queue",
+    "broadcast",
+)
+"""The sharing-kernel vocabulary the sampler draws from (one entry per
+``emit_*`` kernel in :mod:`repro.workloads.kernels`)."""
+
+MAX_MIX_KERNELS = 5
+"""Largest kernel count one sampled mix composes."""
+
+MIN_MIX_KERNELS = 2
+"""Smallest kernel count one sampled mix composes."""
+
+SPEC_FORMAT_VERSION = 1
+"""Bump when the sampled-spec shape changes (specs land in corpora)."""
+
+
+def _blocks(rng: DeterministicRng, lo: int, hi: int) -> int:
+    """A region size in blocks, never below the allocator minimum."""
+    lo = max(4, lo)
+    hi = max(lo, hi)
+    return rng.randint(lo, hi)
+
+
+def sample_kernel_mix(
+    rng: DeterministicRng, llc_blocks: int, num_threads: int
+) -> Dict:
+    """Draw one kernel-mix spec sized against an ``llc_blocks``-frame LLC.
+
+    Every parameter comes from ``rng`` — same seed, same spec, on any
+    machine. Footprints span roughly an eighth of the LLC to several times
+    its capacity, which is the region of scenario space where policy
+    orderings are known to move (thrash-vs-reuse transitions). The first
+    kernel always has ``period == 1`` so every phase emits accesses (a
+    :class:`~repro.workloads.base.WorkloadModel` contract).
+    """
+    if llc_blocks < 8:
+        raise ConfigError(f"llc_blocks must be >= 8, got {llc_blocks}")
+    if num_threads < 1:
+        raise ConfigError(f"num_threads must be >= 1, got {num_threads}")
+    count = rng.randint(MIN_MIX_KERNELS, MAX_MIX_KERNELS)
+    kernels: List[Dict] = []
+    for index in range(count):
+        kernel = rng.choice(KERNEL_NAMES)
+        period = 1 if index == 0 else rng.choice((1, 1, 2, 3))
+        entry: Dict = {
+            "kernel": kernel,
+            "period": period,
+            "offset": 0 if period == 1 else rng.randrange(period),
+        }
+        per_thread = max(1, llc_blocks // num_threads)
+        if kernel == "private_stream":
+            entry.update(
+                blocks_per_thread=_blocks(rng, per_thread // 4, per_thread),
+                stride=rng.choice((1, 1, 2)),
+                write_fraction=round(rng.uniform(0.0, 0.4), 3),
+            )
+        elif kernel == "private_hotset":
+            entry.update(
+                blocks_per_thread=_blocks(rng, per_thread // 8, per_thread // 2),
+                accesses_per_thread=rng.randint(128, 768),
+                write_fraction=round(rng.uniform(0.0, 0.5), 3),
+                skew=round(rng.uniform(1.0, 3.0), 3),
+            )
+        elif kernel == "shared_readonly":
+            entry.update(
+                blocks=_blocks(rng, llc_blocks // 8, llc_blocks * 2),
+                accesses_per_thread=rng.randint(128, 768),
+                skew=round(rng.uniform(1.0, 2.5), 3),
+            )
+        elif kernel == "shared_rw_random":
+            entry.update(
+                blocks=_blocks(rng, llc_blocks // 4, llc_blocks * 4),
+                accesses_per_thread=rng.randint(128, 768),
+                write_fraction=round(rng.uniform(0.0, 0.3), 3),
+                skew=round(rng.uniform(1.0, 2.0), 3),
+            )
+        elif kernel == "producer_consumer":
+            entry.update(
+                blocks_per_thread=_blocks(rng, 8, max(8, per_thread // 2)),
+                chunk_blocks=rng.choice((4, 8, 16)),
+                hops=1 if num_threads < 3 else rng.randint(1, 2),
+            )
+        elif kernel == "migratory":
+            entry.update(
+                blocks=_blocks(rng, 32, max(32, llc_blocks // 2)),
+                items=rng.randint(16, 96),
+                item_blocks=rng.choice((1, 2, 4)),
+                hops=rng.randint(2, 4),
+            )
+        elif kernel == "halo_exchange":
+            entry.update(
+                row_blocks=rng.choice((4, 8, 16)),
+                rows_per_thread=rng.randint(2, 6),
+                sweeps=1,
+            )
+        elif kernel == "reduction":
+            entry.update(
+                blocks_per_thread=_blocks(rng, 8, max(8, per_thread // 4)),
+            )
+        elif kernel == "lock_hotspot":
+            entry.update(
+                blocks=rng.randint(1, 8),
+                rounds_per_thread=rng.randint(64, 384),
+            )
+        elif kernel == "task_queue":
+            entry.update(
+                queue_blocks=rng.randint(4, 32),
+                task_region_blocks=_blocks(rng, 64, max(64, llc_blocks)),
+                num_tasks=rng.randint(32, 192),
+                task_blocks=rng.choice((2, 4, 8)),
+                task_write_fraction=round(rng.uniform(0.0, 0.5), 3),
+            )
+        elif kernel == "broadcast":
+            entry.update(
+                blocks=_blocks(rng, 16, max(16, llc_blocks // 2)),
+                reader_passes=rng.randint(1, 2),
+            )
+        else:  # pragma: no cover - KERNEL_NAMES and this table move together
+            raise ConfigError(f"unsampled kernel {kernel!r}")
+        kernels.append(entry)
+    return {
+        "format_version": SPEC_FORMAT_VERSION,
+        "llc_blocks": llc_blocks,
+        "kernels": kernels,
+    }
+
+
+class FuzzKernelMixModel(WorkloadModel):
+    """A workload model driven by a sampled kernel-mix spec.
+
+    Unlike the suite models, footprints in the spec are absolute (the
+    sampler already sized them against the scenario LLC), so
+    :meth:`~repro.workloads.base.WorkloadModel.generate` should be called
+    with ``scale=1``.
+    """
+
+    suite = "fuzz"
+
+    def __init__(self, spec: Dict, name: str = "fuzzmix"):
+        if "kernels" not in spec or not spec["kernels"]:
+            raise ConfigError("kernel-mix spec has no kernels")
+        self.spec = spec
+        self.name = name
+        self.description = "sampled mix: " + "+".join(
+            entry["kernel"] for entry in spec["kernels"]
+        )
+
+    def setup(self, ctx: GeneratorContext) -> None:
+        self._instances = []
+        for index, entry in enumerate(self.spec["kernels"]):
+            binder = _SETUP[entry["kernel"]]
+            self._instances.append((entry, binder(ctx, entry, index)))
+
+    def phase(self, ctx: GeneratorContext, iteration: int) -> None:
+        for entry, state in self._instances:
+            if iteration % entry["period"] != entry["offset"]:
+                continue
+            _EMIT[entry["kernel"]](ctx, entry, state, iteration)
+
+
+# ----------------------------------------------------------------------
+# Per-kernel setup (region/PC allocation) and emit adapters
+# ----------------------------------------------------------------------
+
+def _setup_per_thread(ctx, entry, index):
+    region = ctx.regions.allocate(
+        f"k{index}", entry["blocks_per_thread"] * ctx.num_threads
+    )
+    return {"parts": region.split(ctx.num_threads), "pc": ctx.pcs.allocate()}
+
+
+def _setup_shared(ctx, entry, index):
+    return {
+        "region": ctx.regions.allocate(f"k{index}", entry["blocks"]),
+        "pc": ctx.pcs.allocate(),
+    }
+
+
+def _setup_two_pc_shared(ctx, entry, index):
+    state = _setup_shared(ctx, entry, index)
+    state["pc2"] = ctx.pcs.allocate()
+    return state
+
+
+def _setup_halo(ctx, entry, index):
+    rows = entry["rows_per_thread"] * ctx.num_threads
+    grid = ctx.regions.allocate(f"k{index}", rows * entry["row_blocks"])
+    return {
+        "grid": grid,
+        "pc_compute": ctx.pcs.allocate(),
+        "pc_halo": ctx.pcs.allocate(),
+    }
+
+
+def _setup_two_pc_per_thread(ctx, entry, index):
+    state = _setup_per_thread(ctx, entry, index)
+    state["pc2"] = ctx.pcs.allocate()
+    return state
+
+
+def _setup_task_queue(ctx, entry, index):
+    return {
+        "queue": ctx.regions.allocate(f"k{index}q", entry["queue_blocks"]),
+        "tasks": ctx.regions.allocate(f"k{index}t", entry["task_region_blocks"]),
+        "pc_queue": ctx.pcs.allocate(),
+        "pc_task": ctx.pcs.allocate(),
+    }
+
+
+_SETUP = {
+    "private_stream": _setup_per_thread,
+    "private_hotset": _setup_per_thread,
+    "shared_readonly": _setup_shared,
+    "shared_rw_random": _setup_shared,
+    "producer_consumer": _setup_two_pc_per_thread,
+    "migratory": _setup_shared,
+    "halo_exchange": _setup_halo,
+    "reduction": _setup_two_pc_per_thread,
+    "lock_hotspot": _setup_shared,
+    "task_queue": _setup_task_queue,
+    "broadcast": _setup_two_pc_shared,
+}
+
+
+def _emit_private_stream(ctx, entry, state, iteration):
+    emit_private_stream(
+        ctx.streams, state["parts"], state["pc"], stride_blocks=entry["stride"],
+        write_fraction=entry["write_fraction"],
+        rng=ctx.rng.spawn("ps", iteration),
+    )
+
+
+def _emit_private_hotset(ctx, entry, state, iteration):
+    emit_private_hotset(
+        ctx.streams, ctx.rng.spawn("ph", iteration), state["parts"],
+        state["pc"], accesses_per_thread=entry["accesses_per_thread"],
+        write_fraction=entry["write_fraction"], skew=entry["skew"],
+    )
+
+
+def _emit_shared_readonly(ctx, entry, state, iteration):
+    emit_shared_readonly(
+        ctx.streams, ctx.rng.spawn("ro", iteration), state["region"],
+        state["pc"], accesses_per_thread=entry["accesses_per_thread"],
+        skew=entry["skew"],
+    )
+
+
+def _emit_shared_rw_random(ctx, entry, state, iteration):
+    emit_shared_rw_random(
+        ctx.streams, ctx.rng.spawn("rw", iteration), state["region"],
+        state["pc"], accesses_per_thread=entry["accesses_per_thread"],
+        write_fraction=entry["write_fraction"], skew=entry["skew"],
+    )
+
+
+def _emit_producer_consumer(ctx, entry, state, iteration):
+    emit_producer_consumer(
+        ctx.streams, state["parts"], state["pc"], state["pc2"],
+        chunk_blocks=entry["chunk_blocks"], hops=entry["hops"],
+    )
+
+
+def _emit_migratory(ctx, entry, state, iteration):
+    emit_migratory(
+        ctx.streams, ctx.rng.spawn("mig", iteration), state["region"],
+        state["pc"], items=entry["items"], item_blocks=entry["item_blocks"],
+        hops=entry["hops"],
+    )
+
+
+def _emit_halo_exchange(ctx, entry, state, iteration):
+    emit_halo_exchange(
+        ctx.streams, state["grid"], entry["row_blocks"],
+        state["pc_compute"], state["pc_halo"], sweeps=entry["sweeps"],
+    )
+
+
+def _emit_reduction(ctx, entry, state, iteration):
+    emit_reduction(ctx.streams, state["parts"], state["pc"], state["pc2"])
+
+
+def _emit_lock_hotspot(ctx, entry, state, iteration):
+    emit_lock_hotspot(
+        ctx.streams, ctx.rng.spawn("lk", iteration), state["region"],
+        state["pc"], rounds_per_thread=entry["rounds_per_thread"],
+    )
+
+
+def _emit_task_queue(ctx, entry, state, iteration):
+    emit_task_queue(
+        ctx.streams, ctx.rng.spawn("tq", iteration), state["queue"],
+        state["tasks"], state["pc_queue"], state["pc_task"],
+        num_tasks=entry["num_tasks"], task_blocks=entry["task_blocks"],
+        task_write_fraction=entry["task_write_fraction"],
+    )
+
+
+def _emit_broadcast(ctx, entry, state, iteration):
+    emit_broadcast(
+        ctx.streams, state["region"], writer_tid=0,
+        pc_write=state["pc"], pc_read=state["pc2"],
+        reader_passes=entry["reader_passes"],
+    )
+
+
+_EMIT = {
+    "private_stream": _emit_private_stream,
+    "private_hotset": _emit_private_hotset,
+    "shared_readonly": _emit_shared_readonly,
+    "shared_rw_random": _emit_shared_rw_random,
+    "producer_consumer": _emit_producer_consumer,
+    "migratory": _emit_migratory,
+    "halo_exchange": _emit_halo_exchange,
+    "reduction": _emit_reduction,
+    "lock_hotspot": _emit_lock_hotspot,
+    "task_queue": _emit_task_queue,
+    "broadcast": _emit_broadcast,
+}

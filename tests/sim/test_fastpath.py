@@ -34,6 +34,7 @@ from repro.sim.fastpath import (
 )
 from repro.sim.multipass import run_policy_on_stream
 from tests.conftest import make_stream
+from tests.strategies import replay_stream_lists
 
 needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
 
@@ -67,16 +68,7 @@ def scalar_replay(stream, geometry, observers=()):
     return LlcOnlySimulator(geometry, LruPolicy(), observers=observers).run(stream)
 
 
-accesses_strategy = st.lists(
-    st.tuples(
-        st.integers(min_value=0, max_value=3),        # core
-        st.sampled_from([0x100, 0x200, 0x300]),       # pc
-        st.integers(min_value=0, max_value=40),       # block
-        st.booleans(),                                 # is_write
-    ),
-    min_size=0,
-    max_size=300,
-)
+accesses_strategy = replay_stream_lists(max_block=40, min_size=0, max_size=300)
 
 
 class TestEquivalence:

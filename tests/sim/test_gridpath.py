@@ -42,6 +42,7 @@ from repro.sim.gridpath import (
 from repro.sim.multipass import run_policy_on_stream
 from repro.oracle.runner import run_oracle_study, run_oracle_study_grid, run_oracle_variants
 from tests.conftest import make_stream
+from tests.strategies import replay_stream_lists
 
 SEED = 7
 
@@ -68,15 +69,7 @@ def mixed_stream(n=4000, spread=160):
     return make_stream(accesses)
 
 
-accesses_strategy = st.lists(
-    st.tuples(
-        st.integers(min_value=0, max_value=3),        # core
-        st.sampled_from([0x100, 0x200, 0x300]),       # pc
-        st.integers(min_value=0, max_value=47),       # block
-        st.booleans(),                                # write
-    ),
-    min_size=1, max_size=250,
-)
+accesses_strategy = replay_stream_lists()
 
 
 class TestLruGridHits:

@@ -40,6 +40,7 @@ from repro.sim.nativepath import (
 )
 from repro.sim.setpath import replay_setpath, try_fast_replay
 from tests.conftest import make_stream
+from tests.strategies import SIGNATURE_PCS, replay_stream_lists
 
 SEED = 11
 
@@ -80,15 +81,7 @@ def mixed_stream(n=4000, spread=160, pcs=5):
     return make_stream(accesses)
 
 
-accesses_strategy = st.lists(
-    st.tuples(
-        st.integers(min_value=0, max_value=3),          # core
-        st.sampled_from([0x100, 0x2040, 0x85010]),      # pc (distinct sigs)
-        st.integers(min_value=0, max_value=47),         # block
-        st.booleans(),                                  # write
-    ),
-    min_size=1, max_size=250,
-)
+accesses_strategy = replay_stream_lists(pcs=SIGNATURE_PCS)
 
 
 def scalar_reference(stream, geometry, seed=SEED):

@@ -6,7 +6,11 @@ from repro.common.config import CacheGeometry
 from repro.common.errors import ConfigError
 from repro.policies.lru import LruPolicy
 from repro.sim.engine import LlcOnlySimulator
-from repro.sim.sampling import SampledLlcSimulator
+from repro.sim.sampling import (
+    SampledLlcSimulator,
+    sampled_geometry,
+    sampled_substream,
+)
 from repro.workloads.registry import get_workload
 from repro.sim.multipass import record_llc_stream
 
@@ -92,3 +96,112 @@ class TestSamplingWithDuelingPolicies:
         lru_result = lru.run(stream)
         lip_result = lip.run(stream)
         assert lru_result.sampled_accesses == lip_result.sampled_accesses
+
+
+class TestSeededSampleSelection:
+    """Sample-set selection derives from the experiment seed (not module
+    RNG state), so campaigns reproduce from ``(seed, label)`` alone."""
+
+    def test_offset_is_deterministic_and_in_range(self):
+        for seed in (0, 1, 42, 2**31):
+            for ratio in (1, 2, 4, 8):
+                offset = SampledLlcSimulator.offset_from_seed(
+                    seed, ratio, "water"
+                )
+                assert offset == SampledLlcSimulator.offset_from_seed(
+                    seed, ratio, "water"
+                )
+                assert 0 <= offset < ratio
+
+    def test_labels_steer_the_offset(self):
+        offsets = {
+            SampledLlcSimulator.offset_from_seed(9, 16, label)
+            for label in ("water", "fft", "canneal", "dedup", "radix")
+        }
+        assert len(offsets) > 1
+
+    def test_seeds_steer_the_offset(self):
+        offsets = {
+            SampledLlcSimulator.offset_from_seed(seed, 16, "water")
+            for seed in range(12)
+        }
+        assert len(offsets) > 1
+
+    def test_invalid_ratio_raises(self):
+        with pytest.raises(ConfigError):
+            SampledLlcSimulator.offset_from_seed(1, 0, "water")
+
+    def test_from_seed_matches_manual_offset(self, tiny_machine):
+        stream = workload_stream(tiny_machine)
+        offset = SampledLlcSimulator.offset_from_seed(5, 4, stream.name)
+        manual = SampledLlcSimulator(
+            GEOMETRY, LruPolicy(), sample_ratio=4, offset=offset
+        ).run(stream)
+        seeded = SampledLlcSimulator.from_seed(
+            GEOMETRY, LruPolicy(), 5, 4, stream.name
+        ).run(stream)
+        assert (seeded.sampled_accesses, seeded.sampled_hits,
+                seeded.sampled_misses) == \
+            (manual.sampled_accesses, manual.sampled_hits,
+             manual.sampled_misses)
+
+    def test_context_sampled_replay_reproduces(self, tiny_machine):
+        from repro.sim.experiment import ExperimentContext
+
+        results = [
+            ExperimentContext(
+                tiny_machine, target_accesses=8_000, seed=21,
+                workloads=["water"],
+            ).sampled_replay("water", "lru", sample_ratio=4)
+            for _ in range(2)
+        ]
+        first, second = results
+        assert (first.sampled_accesses, first.sampled_hits,
+                first.sampled_misses) == \
+            (second.sampled_accesses, second.sampled_hits,
+             second.sampled_misses)
+        assert first.sampled_accesses > 0
+
+
+class TestSampledSubstream:
+    """The extracted substream replayed on the shrunken geometry is the
+    same computation as SampledLlcSimulator walking the full stream."""
+
+    def test_sampled_geometry_shrinks_sets_only(self):
+        small = sampled_geometry(GEOMETRY, 8)
+        assert small.num_sets == GEOMETRY.num_sets // 8
+        assert small.ways == GEOMETRY.ways
+        assert small.block_bytes == GEOMETRY.block_bytes
+
+    def test_sampled_geometry_ratio_must_divide_sets(self):
+        with pytest.raises(ConfigError):
+            sampled_geometry(GEOMETRY, 3)
+        with pytest.raises(ConfigError):
+            sampled_geometry(CacheGeometry(2 * 64, 1), 4)
+
+    def test_substreams_partition_the_stream(self, tiny_machine):
+        stream = workload_stream(tiny_machine)
+        total = sum(
+            len(sampled_substream(stream, GEOMETRY, 4, offset))
+            for offset in range(4)
+        )
+        assert total == len(stream)
+
+    @pytest.mark.parametrize("offset", [0, 1, 3])
+    def test_substream_replay_matches_reference(self, tiny_machine, offset):
+        stream = workload_stream(tiny_machine)
+        reference = SampledLlcSimulator(
+            GEOMETRY, LruPolicy(), sample_ratio=4, offset=offset
+        ).run(stream)
+        sub = sampled_substream(stream, GEOMETRY, 4, offset)
+        replay = LlcOnlySimulator(
+            sampled_geometry(GEOMETRY, 4), LruPolicy()
+        ).run(sub)
+        assert len(sub) == reference.sampled_accesses
+        assert replay.hits == reference.sampled_hits
+        assert replay.misses == reference.sampled_misses
+
+    def test_substream_name_records_the_slice(self, tiny_machine):
+        stream = workload_stream(tiny_machine)
+        sub = sampled_substream(stream, GEOMETRY, 4, 2)
+        assert sub.name == f"{stream.name}#s4.2"

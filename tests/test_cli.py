@@ -213,3 +213,68 @@ class TestSweepSizesValidation:
         out = capsys.readouterr().out
         assert "128KB" in out
         assert "512KB" in out
+
+
+class TestFuzzCli:
+    FUZZ = ["fuzz", "run", "--scenarios", "4", "--seed", "7",
+            "--accesses", "1200", "--no-telemetry"]
+
+    @pytest.fixture(scope="class")
+    def corpus_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("fuzz") / "inversions.json"
+        assert main([*self.FUZZ, "--output", str(path)]) == 0
+        return path
+
+    def test_run_emits_a_corpus(self, corpus_path, capsys):
+        import json
+
+        corpus = json.loads(corpus_path.read_text(encoding="utf-8"))
+        assert corpus["format_version"] == 1
+        assert len(corpus["scenarios"]) == 4
+        assert not corpus["mismatches"]
+
+    def test_run_renders_a_summary(self, corpus_path, capsys):
+        assert main([*self.FUZZ, "--output", str(corpus_path)]) == 0
+        out = capsys.readouterr().out
+        assert "scenarios run" in out
+        assert "frontier" in out
+
+    def test_triage(self, corpus_path, capsys):
+        assert main(["fuzz", "triage", str(corpus_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Reference frontier" in out
+
+    def test_replay_cell(self, corpus_path, capsys):
+        import json
+
+        corpus = json.loads(corpus_path.read_text(encoding="utf-8"))
+        target = corpus["scenarios"][0]["id"]
+        assert main(["fuzz", "replay-cell", str(corpus_path), target]) == 0
+        out = capsys.readouterr().out
+        assert "matches reference sampler" in out
+
+    def test_replay_unknown_cell_exits_2(self, corpus_path, capsys):
+        assert main(["fuzz", "replay-cell", str(corpus_path),
+                     "s99999"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_corpus_exits_2(self, tmp_path, capsys):
+        assert main(["fuzz", "triage", str(tmp_path / "ghost.json")]) == 2
+        assert "cannot read corpus" in capsys.readouterr().err
+
+    def test_negative_scenarios_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "run", "--scenarios", "-1"])
+
+    def test_bad_trace_format_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["fuzz", "run", "--trace", "x.bin:nacho"]
+            )
+
+    def test_trace_spec_with_format_parses(self):
+        args = build_parser().parse_args(
+            ["fuzz", "run", "--trace", "a.out:pin",
+             "--trace", "b.champsim.bin"]
+        )
+        assert args.trace == [("a.out", "pin"), ("b.champsim.bin", "auto")]

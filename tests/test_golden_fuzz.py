@@ -1,0 +1,144 @@
+"""Golden fuzz corpus: a pinned 64-scenario campaign with verdicts.
+
+A committed snapshot (``tests/data/golden_fuzz.json``) of one seeded
+fuzzing campaign: the policy frontier, the campaign-mean miss ratios,
+and — per scenario — the sampled counts and the inversion verdict
+(``interesting``: a frontier flip or an oracle spike). The scenario
+sampler, the workload generators, and the sampled replay are all
+deterministic functions of the campaign seed, so drift here means the
+*generator space itself* moved — the fuzz fleet would silently start
+sweeping different scenarios — and this test forces that to be noticed,
+reviewed, and re-pinned.
+
+Miss ratios are tolerance-checked (``TOLERANCE`` absolute) so an
+intentional re-pin can tell behavioural change from float noise in the
+stored JSON; access counts and verdicts are exact.
+
+Regenerate after an intended change with::
+
+    PYTHONPATH=src:. python -m tests.test_golden_fuzz
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim.fuzz import FuzzConfig, run_fuzz_campaign
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_fuzz.json"
+
+CONFIG = FuzzConfig(seed=42, scenarios=64, accesses=2000, max_full=0)
+"""The pinned campaign: 64 scenarios at sampled fidelity only (the
+full-fidelity differential law has its own suite in
+``tests/sim/test_fuzz.py``)."""
+
+TOLERANCE = 0.002
+"""Absolute miss-ratio drift allowed before the test fails."""
+
+
+def compute_corpus_summary():
+    """The slice of the campaign corpus the fixture pins, computed fresh."""
+    corpus = run_fuzz_campaign(CONFIG)
+    return {
+        "config": corpus["config"],
+        "frontier": corpus["frontier"],
+        "policy_mean_miss_ratio": {
+            policy: round(mean, 6)
+            for policy, mean in corpus["policy_mean_miss_ratio"].items()
+        },
+        "interesting": corpus["interesting"],
+        "scenarios": {
+            record["id"]: {
+                "kind": record["kind"],
+                "llc_accesses": record["llc_accesses"],
+                "sampled_accesses": record["sampled_accesses"],
+                "oracle_gain": round(record.get("oracle_gain", 0.0), 6),
+                "interesting": record["interesting"],
+                "num_flips": len(record["flips"]),
+                "miss_ratio": {
+                    policy: round(cell["miss_ratio"], 6)
+                    for policy, cell in record.get("policies", {}).items()
+                },
+            }
+            for record in corpus["scenarios"]
+        },
+    }
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"golden fixture missing at {GOLDEN_PATH}; regenerate with "
+            f"`PYTHONPATH=src:. python -m tests.test_golden_fuzz`"
+        )
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="module")
+def current():
+    return compute_corpus_summary()
+
+
+class TestGoldenFuzzCorpus:
+    def test_campaign_is_pinned(self, golden):
+        assert golden["config"] == CONFIG.as_dict()
+        assert len(golden["scenarios"]) == CONFIG.total_scenarios
+
+    def test_generator_space_unchanged(self, golden, current):
+        # Same scenario ids, same kinds, same stream/sample sizes: the
+        # sampler and the workload generators still draw the same space.
+        assert set(golden["scenarios"]) == set(current["scenarios"])
+        for sid, pinned in golden["scenarios"].items():
+            fresh = current["scenarios"][sid]
+            assert fresh["kind"] == pinned["kind"], sid
+            assert fresh["llc_accesses"] == pinned["llc_accesses"], sid
+            assert fresh["sampled_accesses"] == \
+                pinned["sampled_accesses"], sid
+
+    def test_frontier_unchanged(self, golden, current):
+        assert current["frontier"] == golden["frontier"]
+        for policy, pinned in golden["policy_mean_miss_ratio"].items():
+            drift = abs(current["policy_mean_miss_ratio"][policy] - pinned)
+            assert drift <= TOLERANCE, (
+                f"mean miss ratio for {policy} drifted by {drift:.6f}"
+            )
+
+    def test_miss_ratios_within_tolerance(self, golden, current):
+        drifts = []
+        for sid, pinned in golden["scenarios"].items():
+            fresh = current["scenarios"][sid]
+            for policy, ratio in pinned["miss_ratio"].items():
+                drift = abs(fresh["miss_ratio"][policy] - ratio)
+                if drift > TOLERANCE:
+                    drifts.append(
+                        f"{sid}/{policy}: {ratio} -> "
+                        f"{fresh['miss_ratio'][policy]} (drift {drift:.6f})"
+                    )
+        assert not drifts, (
+            "golden fuzz corpus drifted — if intentional, regenerate the "
+            "fixture:\n  " + "\n  ".join(drifts)
+        )
+
+    def test_inversion_verdicts_exact(self, golden, current):
+        assert current["interesting"] == golden["interesting"]
+        for sid, pinned in golden["scenarios"].items():
+            fresh = current["scenarios"][sid]
+            assert fresh["interesting"] == pinned["interesting"], sid
+            assert fresh["num_flips"] == pinned["num_flips"], sid
+
+    def test_fixture_flags_at_least_one_inversion(self, golden):
+        # The corpus would be a vacuous regression anchor if the pinned
+        # campaign never tripped the detector.
+        assert golden["interesting"]
+
+
+if __name__ == "__main__":
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(compute_corpus_summary(), indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {GOLDEN_PATH}")

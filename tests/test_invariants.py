@@ -19,52 +19,21 @@ reproducible; the ``slow`` marker gates a high-iteration fuzz pass meant
 for the nightly job (``pytest -m slow``).
 """
 
-import os
-
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.cache.hierarchy import CmpHierarchy
 from repro.common.config import CacheGeometry
-from repro.policies.registry import POLICY_NAMES, make_policy
+from repro.policies.registry import make_policy
 from repro.sim.multipass import run_opt, run_policy_on_stream
 from repro.sim.sampling import SampledLlcSimulator
 from repro.trace.stats import compute_trace_statistics
 from tests.conftest import make_stream, make_trace
-
-settings.register_profile(
-    "ci", max_examples=25, deadline=None, derandomize=True
+from tests.strategies import (
+    access_lists as accesses_strategy,
+    policy_names,
+    stream_lists as stream_strategy,
 )
-settings.register_profile("nightly", max_examples=400, deadline=None)
-settings.load_profile(os.environ.get("REPRO_SIM_HYPOTHESIS_PROFILE", "ci"))
-
-
-def accesses_strategy(num_threads=2, max_addr=4096, max_pc=8):
-    """Random (tid, pc, addr, is_write) access lists."""
-    return st.lists(
-        st.tuples(
-            st.integers(0, num_threads - 1),
-            st.integers(0, max_pc - 1).map(lambda p: 0x400 + p * 4),
-            st.integers(0, max_addr - 1),
-            st.booleans(),
-        ),
-        min_size=1,
-        max_size=400,
-    )
-
-
-def stream_strategy(num_cores=2, max_block=64, max_pc=8):
-    """Random (core, pc, block, is_write) LLC stream access lists."""
-    return st.lists(
-        st.tuples(
-            st.integers(0, num_cores - 1),
-            st.integers(0, max_pc - 1).map(lambda p: 0x400 + p * 4),
-            st.integers(0, max_block - 1),
-            st.booleans(),
-        ),
-        min_size=1,
-        max_size=400,
-    )
 
 
 class TestConservation:
@@ -85,7 +54,7 @@ class TestConservation:
 
     @given(
         accesses=stream_strategy(),
-        policy=st.sampled_from(sorted(POLICY_NAMES)),
+        policy=policy_names(),
     )
     def test_llc_replay_partitions_accesses(self, accesses, policy):
         result = run_policy_on_stream(
@@ -208,7 +177,7 @@ class TestNightlyFuzz:
     @settings(max_examples=500, deadline=None)
     @given(
         accesses=stream_strategy(num_cores=4, max_block=256),
-        policy=st.sampled_from(sorted(POLICY_NAMES)),
+        policy=policy_names(),
     )
     def test_llc_replay_partitions_accesses_deep(self, accesses, policy):
         result = run_policy_on_stream(

@@ -1,0 +1,165 @@
+"""Tests for external trace ingestion (:mod:`repro.trace.ingest`)."""
+
+import gzip
+import struct
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.trace.ingest import (
+    CHAMPSIM_RECORD,
+    read_champsim_trace,
+    read_external_trace,
+    read_pin_trace,
+)
+
+
+def champsim_record(ip, loads=(), stores=()):
+    """Pack one 64-byte ChampSim instruction record."""
+    src = list(loads) + [0] * (4 - len(loads))
+    dst = list(stores) + [0] * (2 - len(stores))
+    return CHAMPSIM_RECORD.pack(
+        ip, 0, 0, 0, 0, 0, 0, 0, 0, dst[0], dst[1],
+        src[0], src[1], src[2], src[3],
+    )
+
+
+@pytest.fixture
+def champsim_file(tmp_path):
+    path = tmp_path / "app.champsim.bin"
+    records = [
+        champsim_record(0x400, loads=(0x1000, 0x2000)),
+        champsim_record(0x404, stores=(0x3000,)),
+        champsim_record(0x408),  # no memory operands
+        champsim_record(0x40C, loads=(0x1000,), stores=(0x1000,)),
+    ]
+    path.write_bytes(b"".join(records))
+    return path
+
+
+@pytest.fixture
+def pin_file(tmp_path):
+    path = tmp_path / "app.pin.out"
+    path.write_text(
+        "# pinatrace output\n"
+        "0x400: R 0x1000\n"
+        "0x404: W 0x2000\n"
+        "\n"
+        "// four-column multi-threaded form\n"
+        "1 R 0x3000 0x408\n"
+        "2 w 0x4000 0x40c\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+class TestChampsim:
+    def test_record_size_is_64_bytes(self):
+        assert CHAMPSIM_RECORD.size == 64
+
+    def test_loads_then_stores_per_record(self, champsim_file):
+        trace = read_champsim_trace(champsim_file)
+        tids, pcs, addrs, writes = trace.columns()
+        assert len(trace) == 5  # 2 + 1 + 0 + 2
+        assert list(addrs) == [0x1000, 0x2000, 0x3000, 0x1000, 0x1000]
+        assert list(writes) == [0, 0, 1, 0, 1]
+        assert set(tids) == {0}
+
+    def test_tid_is_caller_assigned(self, champsim_file):
+        trace = read_champsim_trace(champsim_file, tid=3)
+        assert set(trace.columns()[0]) == {3}
+
+    def test_limit_caps_accesses_not_records(self, champsim_file):
+        trace = read_champsim_trace(champsim_file, limit=3)
+        assert len(trace) == 3
+
+    def test_addresses_are_masked_to_63_bits(self, tmp_path):
+        path = tmp_path / "big.champsim.bin"
+        path.write_bytes(champsim_record(2**64 - 4, loads=(2**63 + 64,)))
+        trace = read_champsim_trace(path)
+        _, pcs, addrs, _ = trace.columns()
+        assert addrs[0] == 64
+        assert pcs[0] >= 0
+
+    def test_truncated_record_raises(self, champsim_file):
+        champsim_file.write_bytes(champsim_file.read_bytes()[:-10])
+        with pytest.raises(TraceError, match="truncated"):
+            read_champsim_trace(champsim_file)
+
+    def test_no_memory_accesses_raises(self, tmp_path):
+        path = tmp_path / "empty.champsim.bin"
+        path.write_bytes(champsim_record(0x400))
+        with pytest.raises(TraceError, match="no memory accesses"):
+            read_champsim_trace(path)
+
+    def test_gzip_transparent(self, champsim_file, tmp_path):
+        gz = tmp_path / "app.champsim.bin.gz"
+        gz.write_bytes(gzip.compress(champsim_file.read_bytes()))
+        assert len(read_champsim_trace(gz)) == 5
+
+
+class TestPin:
+    def test_both_line_forms_decode(self, pin_file):
+        trace = read_pin_trace(pin_file)
+        tids, pcs, addrs, writes = trace.columns()
+        assert len(trace) == 4
+        assert list(tids) == [0, 0, 1, 2]
+        assert list(pcs) == [0x400, 0x404, 0x408, 0x40C]
+        assert list(addrs) == [0x1000, 0x2000, 0x3000, 0x4000]
+        assert list(writes) == [0, 1, 0, 1]
+
+    def test_limit(self, pin_file):
+        assert len(read_pin_trace(pin_file, limit=2)) == 2
+
+    def test_bad_op_raises(self, tmp_path):
+        path = tmp_path / "bad.pin.out"
+        path.write_text("0x400: X 0x1000\n", encoding="utf-8")
+        with pytest.raises(TraceError, match="bad op"):
+            read_pin_trace(path)
+
+    def test_bad_number_raises(self, tmp_path):
+        path = tmp_path / "bad.pin.out"
+        path.write_text("0x400: R zork\n", encoding="utf-8")
+        with pytest.raises(TraceError, match="bad number"):
+            read_pin_trace(path)
+
+    def test_wrong_field_count_raises(self, tmp_path):
+        path = tmp_path / "bad.pin.out"
+        path.write_text("1 2 3 4 5\n", encoding="utf-8")
+        with pytest.raises(TraceError, match="unrecognised pin line"):
+            read_pin_trace(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.pin.out"
+        path.write_text("# nothing here\n", encoding="utf-8")
+        with pytest.raises(TraceError, match="no memory accesses"):
+            read_pin_trace(path)
+
+
+class TestAutoDetection:
+    def test_filename_markers_win(self, champsim_file, pin_file):
+        assert len(read_external_trace(champsim_file)) == 5
+        assert len(read_external_trace(pin_file)) == 4
+
+    def test_content_probe_binary(self, champsim_file, tmp_path):
+        neutral = tmp_path / "trace.dat"
+        neutral.write_bytes(champsim_file.read_bytes())
+        assert len(read_external_trace(neutral)) == 5
+
+    def test_content_probe_text(self, pin_file, tmp_path):
+        neutral = tmp_path / "trace.dat"
+        neutral.write_text(pin_file.read_text(encoding="utf-8"),
+                           encoding="utf-8")
+        assert len(read_external_trace(neutral)) == 4
+
+    def test_explicit_format_overrides(self, pin_file):
+        trace = read_external_trace(pin_file, fmt="pin", limit=1)
+        assert len(trace) == 1
+
+    def test_unknown_format_raises(self, pin_file):
+        with pytest.raises(TraceError, match="unknown trace format"):
+            read_external_trace(pin_file, fmt="nacho")
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(TraceError, match="not found"):
+            read_external_trace(tmp_path / "ghost.champsim.bin")
