@@ -179,7 +179,17 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-telemetry", dest="telemetry", action="store_false",
         help="disable run telemetry (outputs are byte-identical)",
     )
+    _add_db_argument(parser)
     _add_fastpath_argument(parser)
+
+
+def _add_db_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--db", nargs="?", const="auto", default=None, metavar="PATH",
+        help="mirror this run live into the experiment store (bare --db "
+             "uses expdb.sqlite3 inside the runs root; also enabled by "
+             "$REPRO_SIM_DB; JSONL files remain the source of truth)",
+    )
 
 
 def _add_fastpath_argument(parser: argparse.ArgumentParser) -> None:
@@ -298,9 +308,11 @@ def _telemetry_run(args, command: str, context=None):
         yield None
         return
     run = telemetry.create_run(
-        _runs_root(args), command=command, argv=sys.argv[1:]
+        _runs_root(args), command=command,
+        argv=getattr(args, "_argv", None) or sys.argv[1:],
     )
     run.update_manifest(**telemetry.describe_environment(context))
+    _attach_db_sink(args, run)
     with telemetry.activate(run):
         try:
             yield run
@@ -314,6 +326,26 @@ def _telemetry_run(args, command: str, context=None):
     status = "completed_with_failures" if cells.get("failed") else "completed"
     run.finish(status=status)
     print(f"telemetry: run {run.run_id} -> {run.run_dir}", file=sys.stderr)
+
+
+def _attach_db_sink(args, run) -> None:
+    """Mirror the run into the experiment store when --db/REPRO_SIM_DB asks.
+
+    A database problem must never take down the run itself — the JSONL
+    files are the source of truth and remain ingestable post hoc — so any
+    failure here degrades to a one-line warning.
+    """
+    from repro.sim.expdb import LiveDbWriter, resolve_db_path
+
+    try:
+        db_path = resolve_db_path(getattr(args, "db", None),
+                                  _runs_root(args))
+        if db_path is None:
+            return
+        run.attach_sink(LiveDbWriter(db_path, run))
+    except Exception as error:  # noqa: BLE001 - observability is optional
+        print(f"warning: experiment store disabled for this run: "
+              f"{type(error).__name__}: {error}", file=sys.stderr)
 
 
 def _report_failures(failures) -> None:
@@ -918,6 +950,7 @@ def cmd_bench(args) -> int:
         print(f"golden throughput vs {vs['rev']}: "
               f"{vs['golden_speedup']:.3f}x")
     print(f"wrote {path}")
+    _ingest_bench_result(args, path)
     failed = False
     if args.max_overhead is not None and overhead > args.max_overhead:
         print(
@@ -959,6 +992,30 @@ def cmd_bench(args) -> int:
     return 1 if failed else 0
 
 
+def _ingest_bench_result(args, path) -> None:
+    """Index a freshly written BENCH_<rev>.json when --db/REPRO_SIM_DB is on.
+
+    Keeps the experiment store's bench trajectory current without a
+    manual ``db ingest``; when the store is off this is a no-op, and like
+    the live sink a database problem only costs a warning.
+    """
+    from repro.sim.expdb import connect, ingest_bench_file, resolve_db_path
+
+    try:
+        db_path = resolve_db_path(getattr(args, "db", None),
+                                  _runs_root(args))
+        if db_path is None:
+            return
+        conn = connect(db_path)
+        try:
+            ingest_bench_file(conn, path)
+        finally:
+            conn.close()
+    except Exception as error:  # noqa: BLE001 - observability is optional
+        print(f"warning: bench result not indexed: "
+              f"{type(error).__name__}: {error}", file=sys.stderr)
+
+
 def _warn_corrupt(path, detail) -> None:
     """One-line stderr warning for a corrupt telemetry file (no traceback)."""
     print(f"warning: {path}: {detail}", file=sys.stderr)
@@ -984,6 +1041,45 @@ def _render_probe_payloads(run_dir) -> None:
             _warn_corrupt(path, "truncated probe report; skipping")
 
 
+def _event_summaries(root, runs):
+    """Per-run event count + last kind for ``runs list``.
+
+    Exact counts come from the experiment store when one sits next to the
+    runs root (one SELECT for every run); runs the store does not know
+    fall back to :func:`telemetry.quick_event_summary`, whose cost is
+    capped per run however large the event log grew — a 1000-run root
+    must list in interactive time, not O(n·events).
+    """
+    from repro.sim.expdb import DB_FILENAME, connect, resolve_db_path
+
+    summaries = {}
+    db_path = resolve_db_path(None, root)
+    if db_path is None:
+        db_path = root / DB_FILENAME
+    if db_path.is_file():
+        try:
+            conn = connect(db_path, create=False)
+            try:
+                for row in conn.execute(
+                    "SELECT run_id, events_count, last_event_kind"
+                    " FROM runs WHERE events_count IS NOT NULL"
+                ):
+                    summaries[row["run_id"]] = (
+                        row["events_count"], row["last_event_kind"], False
+                    )
+            finally:
+                conn.close()
+        except Exception:  # noqa: BLE001 - a broken index never blocks list
+            summaries = {}
+    for run in runs:
+        if run.run_id not in summaries:
+            quick = telemetry.quick_event_summary(run.path)
+            summaries[run.run_id] = (
+                quick["events"], quick["last_kind"], quick["approx"]
+            )
+    return summaries
+
+
 def cmd_runs(args) -> int:
     root = _runs_root(args)
     if args.action == "list":
@@ -999,12 +1095,14 @@ def cmd_runs(args) -> int:
             root,
             on_error=lambda path, detail: _warn_corrupt(path, detail),
         )
+        summaries = _event_summaries(root, runs)
         for run in runs:
             manifest = run.manifest
             cells = manifest.get("cells")
             if not isinstance(cells, dict):
                 cells = {}
             workloads = manifest.get("workloads")
+            events, last_kind, approx = summaries[run.run_id]
             rows.append([
                 run.run_id,
                 manifest.get("command", "?"),
@@ -1013,16 +1111,29 @@ def cmd_runs(args) -> int:
                 len(workloads) if isinstance(workloads, list) else "?",
                 cells.get("completed", ""),
                 cells.get("failed", ""),
+                f"~{events}" if approx else events,
+                last_kind or "-",
                 manifest.get("wall_sec", ""),
             ])
         print(render_table(
             ["run", "command", "status", "machine", "workloads",
-             "cells_ok", "cells_failed", "wall_sec"],
+             "cells_ok", "cells_failed", "events", "last_event",
+             "wall_sec"],
             rows,
             title=f"Telemetry runs ({root})",
         ))
         return 0
 
+    # A killed run can leave a manifest temp file in the directory being
+    # shown; sweep the orphan window here the way `runs list` does so a
+    # `show` racing a kill never trips over the tmp artifact.
+    swept = telemetry.sweep_orphan_manifests(root)
+    if swept:
+        print(
+            f"warning: swept {len(swept)} orphaned manifest temp "
+            f"file(s) left by killed runs",
+            file=sys.stderr,
+        )
     run = telemetry.load_run(args.run_id, root)
     skip = {"failures", "argv"}
     rows = [[key, value] for key, value in run.manifest.items()
@@ -1213,6 +1324,7 @@ def build_parser() -> argparse.ArgumentParser:
                     default=True, help="record a telemetry run (default)")
     tg.add_argument("--no-telemetry", dest="telemetry",
                     action="store_false", help="disable run telemetry")
+    _add_db_argument(fp)
     _add_jobs_argument(fp)
     _add_fastpath_argument(fp)
 
@@ -1291,6 +1403,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "'show')")
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="cache directory whose runs/ to inspect")
+
+    from repro.sim.expdb.cli import add_db_parser
+
+    add_db_parser(subparsers)
     return parser
 
 
@@ -1313,9 +1429,22 @@ _COMMANDS = {
 }
 
 
+def _cmd_db(args) -> int:
+    from repro.sim.expdb.cli import cmd_db
+
+    return cmd_db(args)
+
+
+_COMMANDS["db"] = _cmd_db
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    # The manifest must record the invocation actually parsed — which is
+    # `argv` when a caller (tests, `db replay --exec`) passed one — or
+    # `db replay` would reconstruct the host process's command line.
+    args._argv = list(argv) if argv is not None else sys.argv[1:]
     if args.command == "runs" and args.action == "show" and not args.run_id:
         print("error: 'runs show' needs a run id", file=sys.stderr)
         return 2
@@ -1324,6 +1453,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # `repro-sim ... | head` closes stdout early. Point stdout at
+        # devnull so the interpreter's exit-time flush doesn't raise a
+        # second BrokenPipeError, and exit with the conventional
+        # 128+SIGPIPE code instead of a traceback.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

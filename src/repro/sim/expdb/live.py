@@ -1,0 +1,162 @@
+"""Live database mirroring of an in-flight telemetry run.
+
+Attached to the main process's :class:`~repro.sim.telemetry.RunTelemetry`
+via ``attach_sink`` when ``--db``/``REPRO_SIM_DB`` is active. The JSONL
+files remain the durable source of truth — the sink sees each event
+*after* its line hit ``events.jsonl`` — so the database write path is
+deliberately relaxed:
+
+* events are buffered and flushed in batches (:data:`FLUSH_EVERY` events
+  or :data:`FLUSH_SECONDS`, whichever first) so per-stage telemetry costs
+  one list append, not one fsync — the warm-replay bench gate's <2%
+  budget is spent on nothing;
+* any sqlite error permanently disables the sink for this run with one
+  stderr warning (the telemetry layer detaches a raising sink);
+* ``close()`` runs a full :func:`~repro.sim.expdb.ingest.ingest_run_dir`
+  reconciliation pass, which folds in what the live path cannot see —
+  worker-process events appended straight to the JSONL file and the
+  sealed manifest — and leaves the database exactly as a post-hoc
+  ``repro-sim db ingest`` would.
+"""
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.sim.expdb import ingest as _ingest
+from repro.sim.expdb.schema import connect
+
+FLUSH_EVERY = 64
+"""Buffered events forcing a flush."""
+
+FLUSH_SECONDS = 0.5
+"""Maximum event-buffer age before a flush."""
+
+
+class LiveDbWriter:
+    """Telemetry sink mirroring one run into the experiment store."""
+
+    def __init__(self, db_path: Union[str, Path], run) -> None:
+        self.db_path = Path(db_path)
+        self.run_dir = Path(run.run_dir)
+        self.run_id = run.run_id
+        self.root = self.run_dir.parent
+        self._conn = connect(self.db_path)
+        self._buffer: List[tuple] = []
+        self._seq = 0
+        self._last_flush = time.monotonic()
+        self._manifest_text: Optional[str] = None
+        self._manifest: Dict = {}
+        self._ensure_run_row(run.manifest)
+
+    # -- sink protocol -------------------------------------------------
+
+    def on_event(self, record: Dict) -> None:
+        t = record.get("t")
+        self._buffer.append((
+            self.run_id, self._seq,
+            t if isinstance(t, (int, float)) else None,
+            record.get("kind"), json.dumps(record, sort_keys=False),
+        ))
+        self._seq += 1
+        now = time.monotonic()
+        if len(self._buffer) >= FLUSH_EVERY or \
+                now - self._last_flush >= FLUSH_SECONDS:
+            self._flush(now)
+
+    def on_manifest(self, text: str, manifest: Dict) -> None:
+        self._manifest_text = text
+        self._manifest = manifest
+        # Manifest rewrites are rare (per stage, not per access): update
+        # the run row eagerly so `db runs` shows live status.
+        self._update_run_row()
+
+    def close(self) -> None:
+        try:
+            self._flush(time.monotonic())
+            # Reconciliation: fold in worker-appended events and the
+            # sealed manifest; leaves the DB identical to a fresh ingest.
+            _ingest.ingest_run_dir(self._conn, self.run_dir,
+                                   root=self.root)
+        finally:
+            self._conn.close()
+
+    # -- internals -----------------------------------------------------
+
+    def _ensure_run_row(self, manifest: Dict) -> None:
+        text = json.dumps(manifest, indent=2, sort_keys=False,
+                          default=str) + "\n"
+        self._manifest_text = text
+        self._manifest = dict(manifest)
+        self._update_run_row()
+
+    def _update_run_row(self) -> None:
+        manifest = self._manifest
+        text = self._manifest_text or "{}\n"
+        with self._conn as conn:
+            experiment_id = _ingest._experiment_id(
+                conn,
+                str(manifest.get("command") or "?"),
+                str(manifest.get("machine") or ""),
+                str(manifest.get("llc") or ""),
+            )
+            conn.execute(
+                "INSERT INTO runs (run_id, experiment_id, root, path,"
+                " status, command, machine, started, finished, wall_sec,"
+                " duration_s, seed, workloads, policies, argv,"
+                " format_version, manifest_json, manifest_digest,"
+                " ingested_at)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?,"
+                " ?, ?, ?, ?)"
+                " ON CONFLICT (run_id) DO UPDATE SET"
+                " experiment_id = excluded.experiment_id,"
+                " status = excluded.status,"
+                " finished = excluded.finished,"
+                " wall_sec = excluded.wall_sec,"
+                " duration_s = excluded.duration_s,"
+                " seed = excluded.seed,"
+                " workloads = excluded.workloads,"
+                " policies = excluded.policies,"
+                " argv = excluded.argv,"
+                " manifest_json = excluded.manifest_json,"
+                " manifest_digest = excluded.manifest_digest,"
+                " ingested_at = excluded.ingested_at",
+                (
+                    self.run_id, experiment_id, str(self.root),
+                    str(self.run_dir),
+                    str(manifest.get("status", "running")),
+                    str(manifest.get("command") or "?"),
+                    manifest.get("machine"),
+                    manifest.get("started"), manifest.get("finished"),
+                    _ingest._as_float(manifest.get("wall_sec")),
+                    _ingest._as_float(manifest.get("duration_s")),
+                    _ingest._as_int(manifest.get("seed")),
+                    _maybe_json_list(manifest.get("workloads")),
+                    _maybe_json_list(manifest.get("policies")),
+                    _maybe_json_list(manifest.get("argv")),
+                    _ingest._as_int(manifest.get("format_version")),
+                    text, _ingest._digest(text), _ingest._now(),
+                ),
+            )
+
+    def _flush(self, now: float) -> None:
+        if self._buffer:
+            with self._conn as conn:
+                conn.executemany(
+                    "INSERT OR REPLACE INTO events (run_id, seq, t, kind,"
+                    " payload) VALUES (?, ?, ?, ?, ?)",
+                    self._buffer,
+                )
+                conn.execute(
+                    "UPDATE runs SET events_count = ?, last_event_kind = ?,"
+                    " last_event_t = ? WHERE run_id = ?",
+                    (self._seq, self._buffer[-1][3], self._buffer[-1][2],
+                     self.run_id),
+                )
+            self._buffer = []
+        self._last_flush = now
+
+
+def _maybe_json_list(value) -> Optional[str]:
+    return json.dumps(value) if isinstance(value, list) else None

@@ -1,0 +1,412 @@
+"""Read-side queries: experiments, runs, replay reconstruction,
+and cross-run/cross-revision regression analytics.
+
+Everything here works on the SQLite index built by
+:mod:`repro.sim.expdb.ingest`; nothing re-reads runs roots, which is what
+makes ``repro-sim db runs`` on a thousand-run root cheap. Regression
+detection compares a metric across the bench trajectory (consecutive
+``BENCH_<rev>.json`` revisions) or across runs of one experiment, using
+the same :func:`repro.common.stats.ratio` arithmetic ``repro-sim bench``
+used when it recorded its own ``vs_previous`` deltas — so the recorded
+trajectory is *reproduced exactly*, not merely approximated, and any
+mismatch is itself reported as corruption.
+"""
+
+import json
+import shlex
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.stats import ratio
+
+GOLDEN_METRIC = "cell:warm_replay_lru_scalar:accesses_per_sec"
+"""Default bench metric: golden-cell throughput (higher is better)."""
+
+_LOWER_IS_BETTER_HINTS = ("overhead", "_sec", "wall", "duration")
+_HIGHER_IS_BETTER_HINTS = ("per_sec", "speedup", "throughput", "rate")
+
+
+def list_experiments(conn) -> List[Dict]:
+    """One row per experiment with run counts and the activity window."""
+    rows = conn.execute(
+        "SELECT e.experiment_id, e.command, e.machine, e.llc,"
+        " COUNT(r.run_id) AS runs,"
+        " SUM(CASE WHEN r.status LIKE 'completed%' THEN 1 ELSE 0 END)"
+        "   AS completed,"
+        " SUM(CASE WHEN r.status = 'failed' THEN 1 ELSE 0 END) AS failed,"
+        " MIN(r.started) AS first_run, MAX(r.started) AS last_run"
+        " FROM experiments e LEFT JOIN runs r USING (experiment_id)"
+        " GROUP BY e.experiment_id"
+        " ORDER BY e.command, e.machine, e.llc"
+    ).fetchall()
+    return [dict(row) for row in rows]
+
+
+def query_runs(
+    conn,
+    workload: Optional[str] = None,
+    policy: Optional[str] = None,
+    status: Optional[str] = None,
+    command: Optional[str] = None,
+    since: Optional[str] = None,
+    until: Optional[str] = None,
+    limit: Optional[int] = None,
+) -> List[Dict]:
+    """Filtered run listing, oldest first.
+
+    ``since``/``until`` compare against the ISO-8601 ``started`` stamp
+    (prefixes like ``2026-08-01`` work — ISO order is lexicographic).
+    Workload/policy filters match membership in the manifest lists.
+    """
+    clauses, params = [], []
+    if status is not None:
+        clauses.append("status = ?")
+        params.append(status)
+    if command is not None:
+        clauses.append("command = ?")
+        params.append(command)
+    if since is not None:
+        clauses.append("started >= ?")
+        params.append(since)
+    if until is not None:
+        # A bare date prefix should include that whole day.
+        clauses.append("started <= ?")
+        params.append(until if "T" in until else until + "T99")
+    sql = "SELECT * FROM runs"
+    if clauses:
+        sql += " WHERE " + " AND ".join(clauses)
+    sql += " ORDER BY started, run_id"
+    rows = [dict(row) for row in conn.execute(sql, params).fetchall()]
+    if workload is not None:
+        rows = [r for r in rows if workload in _json_list(r["workloads"])]
+    if policy is not None:
+        rows = [r for r in rows if policy in _json_list(r["policies"])]
+    if limit is not None:
+        rows = rows[-limit:]
+    return rows
+
+
+def get_run(conn, run_id: str) -> Dict:
+    """One run row; unique prefixes of the id are accepted."""
+    row = conn.execute(
+        "SELECT * FROM runs WHERE run_id = ?", (run_id,)
+    ).fetchone()
+    if row is not None:
+        return dict(row)
+    rows = conn.execute(
+        "SELECT * FROM runs WHERE run_id LIKE ? ORDER BY run_id",
+        (run_id + "%",),
+    ).fetchall()
+    if not rows:
+        raise ConfigError(
+            f"no run {run_id!r} in the experiment database"
+        )
+    if len(rows) > 1:
+        raise ConfigError(
+            f"run id {run_id!r} is ambiguous: "
+            f"{[r['run_id'] for r in rows]}"
+        )
+    return dict(rows[0])
+
+
+def run_detail(conn, run_id: str) -> Dict:
+    """Full view of one run: manifest, stage spans, cells, probes."""
+    run = get_run(conn, run_id)
+    run_id = run["run_id"]
+    spans = conn.execute(
+        "SELECT stage, COUNT(*) AS spans, SUM(duration_s) AS total_s,"
+        " AVG(duration_s) AS mean_s, MAX(duration_s) AS max_s"
+        " FROM spans WHERE run_id = ? GROUP BY stage ORDER BY stage",
+        (run_id,),
+    ).fetchall()
+    cells = conn.execute(
+        "SELECT kind, workload, status, error_type, error, attempts"
+        " FROM cells WHERE run_id = ?",
+        (run_id,),
+    ).fetchall()
+    probes = conn.execute(
+        "SELECT workload FROM probe_summaries WHERE run_id = ?"
+        " ORDER BY workload",
+        (run_id,),
+    ).fetchall()
+    try:
+        manifest = json.loads(run["manifest_json"])
+        if not isinstance(manifest, dict):
+            manifest = {}
+    except ValueError:
+        manifest = {}
+    return {
+        "run": run,
+        "manifest": manifest,
+        "stages": [dict(row) for row in spans],
+        "cells": [dict(row) for row in cells],
+        "probe_workloads": [row["workload"] for row in probes],
+    }
+
+
+def reconstruct_invocation(conn, run_id: str) -> Tuple[str, List[str]]:
+    """The exact engine invocation that produced a run.
+
+    Returns ``(rendered_command, argv)`` where ``argv`` feeds
+    :func:`repro.cli.main` directly. The manifest records ``argv`` at run
+    creation, so the reconstruction is the invocation, not a guess.
+    """
+    run = get_run(conn, run_id)
+    argv = _json_list(run["argv"])
+    if not argv:
+        raise ConfigError(
+            f"run {run['run_id']} recorded no argv (created through the "
+            f"library API, not the CLI); manifest command was "
+            f"{run['command']!r}"
+        )
+    argv = [str(token) for token in argv]
+    return "repro-sim " + shlex.join(argv), argv
+
+
+# ----------------------------------------------------------------------
+# Regression analytics
+# ----------------------------------------------------------------------
+
+def parse_metric(metric: str) -> Dict:
+    """``cell:<name>[:<field>]`` or a top-level bench payload key."""
+    if metric.startswith("cell:"):
+        parts = metric.split(":")
+        if len(parts) == 2:
+            name, field = parts[1], "accesses_per_sec"
+        elif len(parts) == 3:
+            name, field = parts[1], parts[2]
+        else:
+            raise ConfigError(
+                f"bad metric {metric!r}; expected cell:<name>[:<field>]"
+            )
+        if not name or not field:
+            raise ConfigError(
+                f"bad metric {metric!r}; empty cell or field name"
+            )
+        return {"kind": "cell", "cell": name, "field": field}
+    return {"kind": "payload", "field": metric}
+
+
+def metric_direction(metric: str, direction: str = "auto") -> str:
+    """Resolve ``auto`` to higher-/lower-is-better from the field name."""
+    if direction != "auto":
+        return direction
+    field = parse_metric(metric)["field"]
+    # Rates beat the cost hints: accesses_per_sec contains "_sec" but is
+    # a throughput, and throughputs regress downward.
+    if any(hint in field for hint in _HIGHER_IS_BETTER_HINTS):
+        return "higher"
+    if any(hint in field for hint in _LOWER_IS_BETTER_HINTS):
+        return "lower"
+    return "higher"
+
+
+def bench_revisions(conn) -> List[Dict]:
+    """Every ingested bench file, trajectory order (recorded_at, file)."""
+    rows = conn.execute(
+        "SELECT file, rev, recorded_at, machine, llc, workload,"
+        " golden_cell, payload FROM bench_files"
+        " ORDER BY recorded_at, file"
+    ).fetchall()
+    out = []
+    for row in rows:
+        entry = dict(row)
+        try:
+            entry["payload"] = json.loads(entry["payload"])
+        except ValueError:
+            entry["payload"] = {}
+        out.append(entry)
+    return out
+
+
+def _metric_value(payload: Dict, spec: Dict) -> Optional[float]:
+    if spec["kind"] == "cell":
+        cell = payload.get("cells", {}).get(spec["cell"])
+        value = cell.get(spec["field"]) if isinstance(cell, dict) else None
+    else:
+        value = payload.get(spec["field"])
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def bench_regressions(
+    conn,
+    metric: str = GOLDEN_METRIC,
+    tolerance: float = 0.05,
+    direction: str = "auto",
+) -> Dict:
+    """Compare ``metric`` across consecutive bench revisions.
+
+    Each consecutive pair yields a ``ratio = after / before``; with a
+    higher-is-better metric a ratio below ``1 - tolerance`` is a
+    regression (above ``1 + tolerance`` for lower-is-better). When the
+    metric is the golden-cell throughput, every file's *recorded*
+    ``vs_previous.golden_speedup`` is additionally recomputed against the
+    baseline revision it names — using the identical
+    :func:`~repro.common.stats.ratio` arithmetic — and any mismatch is
+    flagged (``recorded_matches=False``): the store must reproduce the
+    committed trajectory deltas exactly or admit the file changed.
+    """
+    if tolerance < 0:
+        raise ConfigError(f"tolerance must be >= 0, got {tolerance}")
+    spec = parse_metric(metric)
+    resolved = metric_direction(metric, direction)
+    revisions = bench_revisions(conn)
+    by_rev: Dict[str, Dict] = {}
+    for entry in revisions:
+        by_rev.setdefault(entry["rev"], entry)  # first file of a rev wins
+
+    comparisons = []
+    previous = None
+    for entry in revisions:
+        value = _metric_value(entry["payload"], spec)
+        record = {
+            "file": entry["file"],
+            "rev": entry["rev"],
+            "recorded_at": entry["recorded_at"],
+            "value": value,
+            "baseline_rev": None,
+            "baseline_value": None,
+            "ratio": None,
+            "regressed": False,
+        }
+        if previous is not None and value is not None and \
+                previous["value"] is not None:
+            record["baseline_rev"] = previous["rev"]
+            record["baseline_value"] = previous["value"]
+            record["ratio"] = ratio(value, previous["value"])
+            if resolved == "higher":
+                record["regressed"] = record["ratio"] < 1.0 - tolerance
+            else:
+                record["regressed"] = record["ratio"] > 1.0 + tolerance
+        vs = entry["payload"].get("vs_previous")
+        if _is_golden_metric(spec, entry["payload"]) and \
+                isinstance(vs, dict):
+            record.update(_check_recorded_delta(entry, vs, spec, by_rev))
+        comparisons.append(record)
+        if value is not None:
+            previous = {"rev": entry["rev"], "value": value}
+
+    regressed = [c for c in comparisons if c["regressed"]]
+    mismatched = [c for c in comparisons
+                  if c.get("recorded_matches") is False]
+    return {
+        "metric": metric,
+        "direction": resolved,
+        "tolerance": tolerance,
+        "comparisons": comparisons,
+        "regressions": len(regressed),
+        "recorded_mismatches": len(mismatched),
+        "ok": not regressed and not mismatched,
+    }
+
+
+def _is_golden_metric(spec: Dict, payload: Dict) -> bool:
+    return (spec["kind"] == "cell"
+            and spec["field"] == "accesses_per_sec"
+            and spec["cell"] == payload.get("golden_cell"))
+
+
+def _check_recorded_delta(entry, vs, spec, by_rev) -> Dict:
+    """Recompute a file's recorded golden_speedup from stored baselines."""
+    out = {
+        "recorded_baseline_rev": vs.get("rev"),
+        "recorded_speedup": vs.get("golden_speedup"),
+        "recomputed_speedup": None,
+        "recorded_matches": None,
+    }
+    baseline = by_rev.get(vs.get("rev"))
+    recorded = vs.get("golden_speedup")
+    if baseline is None or not isinstance(recorded, (int, float)):
+        return out
+    now = _metric_value(entry["payload"], spec)
+    then = _metric_value(baseline["payload"], spec)
+    if now is None or then is None:
+        return out
+    recomputed = ratio(now, then)
+    out["recomputed_speedup"] = recomputed
+    out["recorded_matches"] = recomputed == recorded
+    return out
+
+
+def run_regressions(
+    conn,
+    metric: str = "duration_s",
+    command: Optional[str] = None,
+    tolerance: float = 0.25,
+    direction: str = "auto",
+) -> Dict:
+    """Compare a manifest metric across successive runs per experiment.
+
+    Runs are grouped by experiment (command, machine, llc) so only
+    like-for-like invocations are compared; within each group the metric
+    (``duration_s``, ``wall_sec``, or any numeric manifest field) is
+    checked pairwise in ``started`` order. Durations are lower-is-better
+    under ``auto``.
+    """
+    if tolerance < 0:
+        raise ConfigError(f"tolerance must be >= 0, got {tolerance}")
+    resolved = direction if direction != "auto" else (
+        "higher" if any(h in metric for h in _HIGHER_IS_BETTER_HINTS)
+        else "lower" if any(h in metric for h in _LOWER_IS_BETTER_HINTS)
+        else "higher"
+    )
+    clauses = "WHERE status LIKE 'completed%'"
+    params: List = []
+    if command is not None:
+        clauses += " AND command = ?"
+        params.append(command)
+    rows = conn.execute(
+        f"SELECT run_id, experiment_id, command, machine, started,"
+        f" manifest_json FROM runs {clauses} ORDER BY started, run_id",
+        params,
+    ).fetchall()
+    groups: Dict[int, List] = {}
+    for row in rows:
+        try:
+            manifest = json.loads(row["manifest_json"])
+        except ValueError:
+            continue
+        value = manifest.get(metric) if isinstance(manifest, dict) else None
+        if not isinstance(value, (int, float)):
+            continue
+        groups.setdefault(row["experiment_id"], []).append(
+            (dict(row), float(value))
+        )
+    comparisons = []
+    for entries in groups.values():
+        for (prev, prev_value), (cur, cur_value) in zip(entries,
+                                                        entries[1:]):
+            rat = ratio(cur_value, prev_value)
+            if resolved == "higher":
+                regressed = rat < 1.0 - tolerance
+            else:
+                regressed = rat > 1.0 + tolerance
+            comparisons.append({
+                "command": cur["command"],
+                "baseline_run": prev["run_id"],
+                "run": cur["run_id"],
+                "baseline_value": prev_value,
+                "value": cur_value,
+                "ratio": rat,
+                "regressed": regressed,
+            })
+    regressed = [c for c in comparisons if c["regressed"]]
+    return {
+        "metric": metric,
+        "direction": resolved,
+        "tolerance": tolerance,
+        "comparisons": comparisons,
+        "regressions": len(regressed),
+        "recorded_mismatches": 0,
+        "ok": not regressed,
+    }
+
+
+def _json_list(text: Optional[str]) -> List:
+    if not text:
+        return []
+    try:
+        value = json.loads(text)
+    except ValueError:
+        return []
+    return value if isinstance(value, list) else []

@@ -308,6 +308,12 @@ def _cell_failure(cell: ExperimentCell, error: BaseException,
     return failure
 
 
+def _emit_cell_done(cell: ExperimentCell, duration: float) -> None:
+    """Per-cell completion event: the progress heartbeat `db tail` renders."""
+    telemetry.emit("cell_done", cell_kind=cell.kind, workload=cell.workload,
+                   duration_s=round(duration, 6))
+
+
 def _record_cell_summary(results: List) -> None:
     """Fold the cells' outcome into the active run manifest, if any."""
     recorder = telemetry.current()
@@ -331,13 +337,17 @@ def _run_cells_serial(
     results = []
     for cell in cells:
         if fail_fast:
+            started = time.perf_counter()
             results.append(execute_cell(context, cell))
+            _emit_cell_done(cell, time.perf_counter() - started)
             continue
         attempts = 0
         while True:
             attempts += 1
+            started = time.perf_counter()
             try:
                 results.append(execute_cell(context, cell))
+                _emit_cell_done(cell, time.perf_counter() - started)
                 break
             except Exception as error:
                 if attempts > retries:
@@ -446,10 +456,12 @@ def _run_cells_pool(
                             return_when=FIRST_COMPLETED)
             broken = False
             for future in done:
-                index, __ = pending.pop(future)
+                index, dispatched = pending.pop(future)
                 error = future.exception()
                 if error is None:
                     results[index] = future.result()
+                    _emit_cell_done(cells[index],
+                                    time.monotonic() - dispatched)
                 elif isinstance(error, BrokenProcessPool):
                     # The pool is gone; every sibling future is dead too.
                     pending[future] = (index, 0.0)

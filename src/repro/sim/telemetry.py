@@ -45,6 +45,16 @@ from repro.common.stats import RunningStats
 TELEMETRY_FORMAT_VERSION = 1
 """Bumped when the manifest/event schema changes incompatibly."""
 
+EVENT_SCHEMA_VERSION = 1
+"""Stamped on every event line as ``schema_version``.
+
+Events written before this field existed carry no marker and count as
+version 1. Readers must *tolerate* higher versions — a newer writer's
+log yields a one-line warning (see :func:`read_events`'s ``on_future``),
+never a traceback — so old tooling can still tail a live campaign
+written by a newer release.
+"""
+
 RUNS_DIRNAME = "runs"
 MANIFEST_NAME = "manifest.json"
 EVENTS_NAME = "events.jsonl"
@@ -95,6 +105,51 @@ class RunTelemetry:
         self.manifest_path = self.run_dir / MANIFEST_NAME
         self._manifest: Dict = {}
         self._started = time.time()
+        # Monotonic twin of _started: wall-clock deltas skew under NTP
+        # steps, so durations are measured on this clock and reported as
+        # ``duration_s`` (``wall_sec`` stays for older readers).
+        self._mono_started = time.monotonic()
+        self._sinks: List = []
+
+    def attach_sink(self, sink) -> None:
+        """Mirror events and manifest rewrites into ``sink`` (best effort).
+
+        A sink implements ``on_event(record)``, ``on_manifest(text,
+        manifest)`` and ``close()``; the live experiment-store writer
+        (:class:`repro.sim.expdb.live.LiveDbWriter`) is the one shipped.
+        The JSONL files stay the durable source of truth: a sink is fed
+        *after* the file write, and a sink that raises is detached with a
+        one-line warning instead of failing the run.
+        """
+        self._sinks.append(sink)
+
+    def close_sinks(self) -> None:
+        """Flush and detach every attached sink (end of run)."""
+        sinks, self._sinks = self._sinks, []
+        for sink in sinks:
+            try:
+                sink.close()
+            except Exception as error:  # pragma: no cover - defensive
+                self._warn_sink(sink, error)
+
+    def _feed_sinks(self, method: str, *payload) -> None:
+        for sink in list(self._sinks):
+            try:
+                getattr(sink, method)(*payload)
+            except Exception as error:
+                self._sinks.remove(sink)
+                self._warn_sink(sink, error)
+
+    @staticmethod
+    def _warn_sink(sink, error) -> None:
+        import sys
+
+        print(
+            f"warning: telemetry sink {type(sink).__name__} failed "
+            f"({type(error).__name__}: {error}); detached — the JSONL "
+            f"log is unaffected",
+            file=sys.stderr,
+        )
 
     # ------------------------------------------------------------------
     # Event log
@@ -104,7 +159,8 @@ class RunTelemetry:
         """Append one event line (best effort: a full disk or a deleted
         run directory must never fail the experiment itself)."""
         record = {"t": round(time.time(), 6), "pid": os.getpid(),
-                  "role": self.role, "kind": kind}
+                  "role": self.role, "kind": kind,
+                  "schema_version": EVENT_SCHEMA_VERSION}
         record.update(fields)
         line = json.dumps(record, sort_keys=False) + "\n"
         try:
@@ -112,6 +168,7 @@ class RunTelemetry:
                 handle.write(line)
         except OSError:
             pass
+        self._feed_sinks("on_event", record)
 
     @contextmanager
     def span(self, stage: str, /, **fields) -> Iterator[Dict]:
@@ -129,9 +186,12 @@ class RunTelemetry:
             extras.setdefault("error", type(error).__name__)
             raise
         finally:
+            # perf_counter is monotonic, so wall_sec and duration_s agree
+            # here; both are written so span readers key on one field name
+            # (duration_s) regardless of which writer produced the event.
             wall = time.perf_counter() - start
             self.event("span", stage=stage, wall_sec=round(wall, 6),
-                       **fields, **extras)
+                       duration_s=round(wall, 6), **fields, **extras)
 
     # ------------------------------------------------------------------
     # Manifest (parent only)
@@ -168,6 +228,7 @@ class RunTelemetry:
                 tmp.unlink()  # no-op after a successful replace
             except OSError:
                 pass
+        self._feed_sinks("on_manifest", payload + "\n", dict(self._manifest))
 
     @property
     def manifest(self) -> Dict:
@@ -175,12 +236,20 @@ class RunTelemetry:
         return dict(self._manifest)
 
     def finish(self, status: str = "completed", **fields) -> None:
-        """Seal the manifest with the final status and total wall time."""
+        """Seal the manifest with the final status and total run time.
+
+        ``duration_s`` is the monotonic-clock duration (immune to NTP
+        steps mid-run); ``wall_sec`` keeps the wall-clock delta older
+        readers expect.
+        """
+        duration = round(time.monotonic() - self._mono_started, 6)
         self.update_manifest(
             status=status, wall_sec=round(time.time() - self._started, 6),
+            duration_s=duration,
             finished=_isoformat(time.time()), **fields,
         )
-        self.event("run_finished", status=status)
+        self.event("run_finished", status=status, duration_s=duration)
+        self.close_sinks()
 
 
 # ----------------------------------------------------------------------
@@ -267,6 +336,7 @@ def create_run(
     telemetry = RunTelemetry(run_dir, role="main")
     telemetry.update_manifest(
         format_version=TELEMETRY_FORMAT_VERSION,
+        event_schema_version=EVENT_SCHEMA_VERSION,
         run_id=telemetry.run_id,
         command=command,
         argv=list(argv) if argv is not None else None,
@@ -378,6 +448,19 @@ def list_runs(
             manifest = {"status": "corrupt"}
             if on_error is not None:
                 on_error(manifest_path, detail)
+        else:
+            version = manifest.get("format_version")
+            if (isinstance(version, int)
+                    and version > TELEMETRY_FORMAT_VERSION
+                    and on_error is not None):
+                # A newer writer's manifest still lists — fields we know
+                # keep their meaning; the warning flags the rest.
+                on_error(
+                    manifest_path,
+                    f"manifest format v{version} is newer than this "
+                    f"reader (v{TELEMETRY_FORMAT_VERSION}); unknown "
+                    f"fields ignored",
+                )
         runs.append(RunInfo(run_id=run_dir.name, path=run_dir, manifest=manifest))
     return runs
 
@@ -463,7 +546,7 @@ def load_run(
 
 
 def read_events(
-    run_dir: Union[str, Path], on_error=None
+    run_dir: Union[str, Path], on_error=None, on_future=None
 ) -> List[Dict]:
     """Parse a run's event log, skipping torn or malformed lines.
 
@@ -473,14 +556,26 @@ def read_events(
     ``on_error``, when given, is called once as ``on_error(path, count)``
     if any lines were skipped — or if the log itself is unreadable
     (``count=0`` then) — so CLIs can print a one-line warning.
+
+    Events stamped with a ``schema_version`` newer than this reader's
+    :data:`EVENT_SCHEMA_VERSION` are still returned (known fields keep
+    their meaning across versions); ``on_future``, when given, is called
+    once as ``on_future(path, max_version)`` so CLIs can warn without a
+    traceback.
     """
     path = Path(run_dir) / EVENTS_NAME
     if not path.exists():
         return []
     events = []
     malformed = 0
+    future_version = 0
     try:
-        with open(path, "r", encoding="utf-8") as handle:
+        # errors="replace": a worker killed mid-write (or a disk hiccup)
+        # can leave arbitrary bytes on the final line; the mojibake line
+        # then fails JSON parsing and is counted, instead of a
+        # UnicodeDecodeError taking down the whole read.
+        with open(path, "r", encoding="utf-8",
+                  errors="replace") as handle:
             for line in handle:
                 line = line.strip()
                 if not line:
@@ -493,6 +588,10 @@ def read_events(
                 if not isinstance(event, dict):
                     malformed += 1
                     continue
+                version = event.get("schema_version", EVENT_SCHEMA_VERSION)
+                if (isinstance(version, int)
+                        and version > EVENT_SCHEMA_VERSION):
+                    future_version = max(future_version, version)
                 events.append(event)
     except OSError:
         if on_error is not None:
@@ -500,6 +599,8 @@ def read_events(
         return events
     if malformed and on_error is not None:
         on_error(path, malformed)
+    if future_version and on_future is not None:
+        on_future(path, future_version)
     return events
 
 
@@ -514,7 +615,10 @@ def summarize_spans(events: List[Dict]) -> Dict[str, RunningStats]:
         if not isinstance(event, dict) or event.get("kind") != "span":
             continue
         try:
-            wall = float(event.get("wall_sec", 0.0))
+            # duration_s is the monotonic-clock field; wall_sec is its
+            # pre-versioning name (same value for span events).
+            wall = float(event.get("duration_s",
+                                   event.get("wall_sec", 0.0)))
         except (TypeError, ValueError):
             continue
         stage = event.get("stage", "?")
@@ -522,6 +626,81 @@ def summarize_spans(events: List[Dict]) -> Dict[str, RunningStats]:
             stage = repr(stage)
         stages.setdefault(stage, RunningStats()).add(wall)
     return stages
+
+
+EVENT_SUMMARY_EXACT_BYTES = 64 * 1024
+"""Logs up to this size are line-counted exactly by the quick summary."""
+
+EVENT_SUMMARY_TAIL_BYTES = 4 * 1024
+"""Bytes read from the end of a large log for the last-event probe."""
+
+
+def quick_event_summary(
+    run_dir: Union[str, Path],
+    exact_bytes: int = EVENT_SUMMARY_EXACT_BYTES,
+    tail_bytes: int = EVENT_SUMMARY_TAIL_BYTES,
+) -> Dict:
+    """Bounded-cost event-log summary for ``runs list``.
+
+    Reads at most ``exact_bytes`` (small logs: exact line count) or one
+    ``tail_bytes`` slice (large logs: count extrapolated from the tail's
+    mean line length, marked ``approx``), so listing a 1000-run root costs
+    megabytes, not the gigabytes a full re-read of every ``events.jsonl``
+    would. The experiment store answers the same question exactly when a
+    database is present — this is the capped filesystem fallback.
+
+    Returns ``{"events": int, "approx": bool, "last_kind": str|None,
+    "last_t": float|None}``; a missing or unreadable log yields zero
+    events.
+    """
+    path = Path(run_dir) / EVENTS_NAME
+    summary: Dict = {"events": 0, "approx": False,
+                     "last_kind": None, "last_t": None}
+    try:
+        size = path.stat().st_size
+    except OSError:
+        return summary
+    if size == 0:
+        return summary
+    try:
+        with open(path, "rb") as handle:
+            if size <= exact_bytes:
+                data = handle.read(exact_bytes + 1)
+                tail = data
+                count = data.count(b"\n")
+                if data and not data.endswith(b"\n"):
+                    count += 1  # torn final line still represents an event
+            else:
+                handle.seek(size - tail_bytes)
+                tail = handle.read(tail_bytes)
+                lines = tail.count(b"\n")
+                if lines:
+                    mean_line = len(tail) / lines
+                    count = max(int(size / mean_line), lines)
+                else:
+                    count = 1
+                summary["approx"] = True
+    except OSError:
+        return summary
+    summary["events"] = count
+    # Last complete line of the tail slice -> last event kind/time.
+    complete = tail.rsplit(b"\n", 2)
+    for chunk in reversed(complete):
+        line = chunk.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            continue
+        if isinstance(event, dict):
+            summary["last_kind"] = event.get("kind")
+            try:
+                summary["last_t"] = float(event["t"])
+            except (KeyError, TypeError, ValueError):
+                pass
+            break
+    return summary
 
 
 def _isoformat(timestamp: float) -> str:

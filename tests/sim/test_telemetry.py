@@ -473,3 +473,119 @@ class TestCorruptionHardening:
         captured = capsys.readouterr()
         assert "Traceback" not in captured.err
         assert "manifest" in captured.out
+
+
+class TestSchemaVersioning:
+    """Satellite contracts: versioned events, monotonic durations."""
+
+    def test_events_carry_schema_version(self, run):
+        run.event("probe")
+        event = telemetry.read_events(run.run_dir)[-1]
+        assert event["schema_version"] == telemetry.EVENT_SCHEMA_VERSION
+
+    def test_manifest_carries_event_schema_version(self, run):
+        assert run.manifest["event_schema_version"] == \
+            telemetry.EVENT_SCHEMA_VERSION
+
+    def test_finish_records_monotonic_duration(self, run):
+        run.finish(status="completed")
+        manifest = json.loads(
+            (run.run_dir / telemetry.MANIFEST_NAME).read_text()
+        )
+        assert manifest["duration_s"] >= 0.0
+        finished = telemetry.read_events(run.run_dir)[-1]
+        assert finished["duration_s"] == manifest["duration_s"]
+
+    def test_spans_record_duration_s(self, run):
+        with telemetry.activate(run):
+            with telemetry.span("stage_x"):
+                pass
+        event = telemetry.read_events(run.run_dir)[-1]
+        assert event["duration_s"] == event["wall_sec"]
+
+    def test_future_event_version_warns_not_crashes(self, run):
+        run.event("probe")
+        with open(run.run_dir / telemetry.EVENTS_NAME, "a",
+                  encoding="utf-8") as handle:
+            handle.write(json.dumps(
+                {"t": 1.0, "kind": "from_the_future",
+                 "schema_version": telemetry.EVENT_SCHEMA_VERSION + 7}
+            ) + "\n")
+        futures = []
+        events = telemetry.read_events(
+            run.run_dir,
+            on_future=lambda path, version: futures.append(version),
+        )
+        # Future events are still returned: known fields keep meaning.
+        assert events[-1]["kind"] == "from_the_future"
+        assert futures == [telemetry.EVENT_SCHEMA_VERSION + 7]
+
+    def test_future_manifest_version_warns_in_list(self, tmp_path):
+        run = telemetry.create_run(tmp_path, command="a")
+        manifest = json.loads(
+            (run.run_dir / telemetry.MANIFEST_NAME).read_text()
+        )
+        manifest["format_version"] = telemetry.TELEMETRY_FORMAT_VERSION + 3
+        (run.run_dir / telemetry.MANIFEST_NAME).write_text(
+            json.dumps(manifest)
+        )
+        warnings = []
+        runs = telemetry.list_runs(
+            tmp_path,
+            on_error=lambda path, detail: warnings.append(detail),
+        )
+        assert len(runs) == 1  # still listed, best-effort
+        assert any("newer" in w for w in warnings)
+
+    def test_read_events_tolerates_non_utf8_garbage(self, run):
+        run.event("probe")
+        with open(run.run_dir / telemetry.EVENTS_NAME, "ab") as handle:
+            handle.write(b"\x80\xff garbage\n")
+        errors = []
+        events = telemetry.read_events(
+            run.run_dir,
+            on_error=lambda path, count: errors.append(count),
+        )
+        assert [e["kind"] for e in events] == ["run_started", "probe"]
+        assert errors == [1]
+
+
+class TestQuickEventSummary:
+    def test_missing_log_is_zero(self, tmp_path):
+        summary = telemetry.quick_event_summary(tmp_path)
+        assert summary == {"events": 0, "approx": False,
+                           "last_kind": None, "last_t": None}
+
+    def test_small_log_counts_exactly(self, run):
+        for index in range(5):
+            run.event("probe", index=index)
+        run.event("run_finished")
+        summary = telemetry.quick_event_summary(run.run_dir)
+        assert summary["events"] == 7  # run_started + 5 probes + finish
+        assert summary["approx"] is False
+        assert summary["last_kind"] == "run_finished"
+        assert isinstance(summary["last_t"], float)
+
+    def test_large_log_is_capped_and_extrapolated(self, run):
+        line = json.dumps({"t": 1.0, "kind": "probe",
+                           "pad": "x" * 100}) + "\n"
+        with open(run.run_dir / telemetry.EVENTS_NAME, "w",
+                  encoding="utf-8") as handle:
+            for _ in range(500):
+                handle.write(line)
+        summary = telemetry.quick_event_summary(
+            run.run_dir, exact_bytes=4096, tail_bytes=1024
+        )
+        assert summary["approx"] is True
+        assert summary["last_kind"] == "probe"
+        # Uniform lines: the tail extrapolation lands near the true count.
+        assert abs(summary["events"] - 500) <= 75
+
+    def test_torn_final_line_still_counted(self, run):
+        run.event("probe")
+        with open(run.run_dir / telemetry.EVENTS_NAME, "a",
+                  encoding="utf-8") as handle:
+            handle.write('{"kind": "torn')
+        summary = telemetry.quick_event_summary(run.run_dir)
+        assert summary["events"] == 3  # run_started + probe + torn
+        assert summary["last_kind"] == "probe"  # last *complete* line

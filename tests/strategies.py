@@ -143,3 +143,87 @@ def fuzz_scenarios(seed=42, scenarios=64, mix_fraction=0.25):
     return st.integers(0, config.total_scenarios - 1).map(
         lambda index: sample_scenario(config, index)
     )
+
+
+# ----------------------------------------------------------------------
+# Telemetry run records (experiment-store ingest suites)
+# ----------------------------------------------------------------------
+
+RUN_COMMANDS = ("compare", "sweep", "oracle", "fuzz", "bench")
+RUN_STATUSES = ("completed", "completed_with_failures", "failed", "running")
+EVENT_KINDS = ("span", "cells_start", "cell_done", "cell_retry",
+               "cell_failed", "cells_done", "artifact")
+_NAME_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789_"
+
+
+def _names(min_size=1, max_size=16):
+    return st.text(alphabet=_NAME_ALPHABET, min_size=min_size,
+                   max_size=max_size)
+
+
+def run_manifests():
+    """Plausible-but-adversarial ``manifest.json`` payload dicts.
+
+    Shapes the ingest pipeline must take losslessly: optional keys
+    missing, lists empty, numeric fields absent. The caller supplies
+    ``run_id``/``started`` (they come from the directory layout).
+    """
+    return st.fixed_dictionaries(
+        {
+            "format_version": st.just(1),
+            "command": st.sampled_from(RUN_COMMANDS),
+            "status": st.sampled_from(RUN_STATUSES),
+        },
+        optional={
+            "machine": _names(),
+            "llc": _names(),
+            "seed": st.integers(0, 2**32 - 1),
+            "wall_sec": st.floats(0, 1e4, allow_nan=False),
+            "duration_s": st.floats(0, 1e4, allow_nan=False),
+            "workloads": st.lists(_names(), max_size=4),
+            "policies": st.lists(policy_names(), max_size=4),
+            "argv": st.lists(_names(min_size=1, max_size=12), max_size=6),
+            "cells": st.fixed_dictionaries({
+                "total": st.integers(0, 32),
+                "completed": st.integers(0, 32),
+                "failed": st.integers(0, 8),
+            }),
+        },
+    )
+
+
+def telemetry_events(min_size=0, max_size=24):
+    """Event-record lists as they land in ``events.jsonl``."""
+    base = st.fixed_dictionaries(
+        {
+            "t": st.floats(0, 2e9, allow_nan=False),
+            "pid": st.integers(1, 2**22),
+            "role": st.sampled_from(("main", "worker")),
+            "kind": st.sampled_from(EVENT_KINDS),
+            "schema_version": st.just(1),
+        },
+        optional={
+            "stage": _names(),
+            "workload": _names(),
+            "duration_s": st.floats(0, 1e3, allow_nan=False),
+            "wall_sec": st.floats(0, 1e3, allow_nan=False),
+        },
+    )
+    return st.lists(base, min_size=min_size, max_size=max_size)
+
+
+def event_log_corruptions():
+    """One corruption to inflict on an ``events.jsonl`` file.
+
+    ``("truncate", frac)`` chops the file mid-line the way a SIGKILL
+    does; the others append a line no JSON event parser should accept.
+    Readers and ingest must drop the damage and keep every intact event.
+    """
+    return st.one_of(
+        st.tuples(st.just("truncate"), st.floats(0.1, 0.95)),
+        st.tuples(st.just("garbage"), st.binary(min_size=1, max_size=64)
+                  .map(lambda b: b + b"\n")),
+        st.tuples(st.just("non_dict"), st.sampled_from(
+            (b"[1, 2, 3]\n", b'"spans"\n', b"42\n", b"null\n"))),
+        st.tuples(st.just("blank"), st.just(b"\n\n")),
+    )
