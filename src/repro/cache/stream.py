@@ -82,9 +82,14 @@ class LlcStream:
     @property
     def num_cores(self) -> int:
         """1 + maximum core id appearing in the stream (0 when empty)."""
-        if not self._cores:
+        if len(self._cores) == 0:
             return 0
-        return max(self._cores) + 1
+        # Columns are array.array normally, but zero-copy loads
+        # (:func:`repro.cache.stream_io.read_llc_stream`) back them with
+        # mmap-based numpy views; ndarray.max avoids a Python-level scan.
+        column = self._cores
+        peak = column.max() if hasattr(column, "max") else max(column)
+        return int(peak) + 1
 
     def __len__(self) -> int:
         return len(self._cores)

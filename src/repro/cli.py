@@ -533,10 +533,13 @@ def cmd_cache(args) -> int:
         removed = clear_cache(spec)
         print(f"removed {removed} cached artifact file(s) from {directory}")
         return 0
+    from repro.oracle.runner import annotation_memo_stats
+
     entries = cache_entries(spec)
     orphans = orphan_tmp_entries(spec)
     streams = [e for e in entries if e[0].name.endswith((".rllc", ".rllc.gz"))]
     total = sum(size for __, size in entries)
+    memo = annotation_memo_stats()
     print(render_table(
         ["metric", "value"],
         [
@@ -546,6 +549,14 @@ def cmd_cache(args) -> int:
             ["total bytes", total],
             ["orphan tmp files", len(orphans)],
             ["orphan tmp bytes", sum(size for __, size in orphans)],
+            # The in-memory oracle-annotation memo (this process): LRU-
+            # bounded per (stream, horizon-window, cap); see
+            # repro.oracle.runner.ANNOTATION_MEMO_CAPACITY.
+            ["annotation memo entries",
+             f"{memo['entries']}/{memo['capacity']}"],
+            ["annotation memo hits", memo["hits"]],
+            ["annotation memo misses", memo["misses"]],
+            ["annotation memo evictions", memo["evictions"]],
         ],
         title="Persistent stream cache",
     ))

@@ -13,6 +13,7 @@ the paper's headline 6%/10% average LRU miss reductions at 4MB/8MB.
 
 from repro.oracle.residency import FillSharingLog
 from repro.oracle.annotate import (
+    AnnotationHintSource,
     build_sharing_annotation,
     build_stream_annotation,
     oracle_hint_source,
@@ -23,20 +24,27 @@ from repro.oracle.wrapper import (
     SharingAwareWrapper,
 )
 from repro.oracle.runner import (
+    ANNOTATION_MEMO_CAPACITY,
     DEFAULT_HORIZON_TURNOVERS,
     OracleStudyResult,
+    annotation_memo_clear,
+    annotation_memo_stats,
     run_oracle_study,
 )
 
 __all__ = [
     "FillSharingLog",
+    "AnnotationHintSource",
     "build_sharing_annotation",
     "build_stream_annotation",
     "oracle_hint_source",
     "PROTECTION_MODES",
     "RELEASE_POLICIES",
     "SharingAwareWrapper",
+    "ANNOTATION_MEMO_CAPACITY",
     "DEFAULT_HORIZON_TURNOVERS",
     "OracleStudyResult",
+    "annotation_memo_clear",
+    "annotation_memo_stats",
     "run_oracle_study",
 ]

@@ -196,15 +196,36 @@ def build_sharing_annotation(
     return log.budgets
 
 
-def oracle_hint_source(budgets: array):
-    """Adapt an annotation budget array into a wrapper hint source.
+class AnnotationHintSource:
+    """A wrapper hint source backed by a precomputed annotation array.
 
-    The returned callable matches :class:`SharingAwareWrapper`'s hint
-    signature and keys into ``budgets`` by the wrapping LLC's current access
-    ordinal (== the fill ordinal during an ``on_fill``).
+    Matches :class:`SharingAwareWrapper`'s hint signature and keys into
+    ``budgets`` by the wrapping LLC's current access ordinal (== the fill
+    ordinal during an ``on_fill``). Being a recognizable *class* — rather
+    than a closure — is what lets the native backend
+    (:mod:`repro.sim.nativepath`) detect that a wrapper's hints are pure
+    offline data and export them as a stream-aligned int column instead of
+    calling back into Python per fill; ``budgets`` and ``cap`` are read
+    for exactly that export. Exact type matters: a subclass that overrides
+    ``__call__`` no longer guarantees ``hint(i) == budgets[i]`` and must
+    fall back to the object model.
     """
 
-    def hint(llc, block: int, pc: int, core: int) -> int:
-        return budgets[llc.access_count]
+    __slots__ = ("budgets", "cap")
 
-    return hint
+    def __init__(self, budgets: array, cap: int = BUDGET_CAP):
+        self.budgets = budgets
+        self.cap = cap
+
+    def __call__(self, llc, block: int, pc: int, core: int) -> int:
+        return self.budgets[llc.access_count]
+
+
+def oracle_hint_source(budgets: array, cap: int = BUDGET_CAP):
+    """Adapt an annotation budget array into a wrapper hint source.
+
+    Returns an :class:`AnnotationHintSource`; ``cap`` documents the
+    saturation bound the budgets were built with (the native backend uses
+    it to pick a safe hint-column dtype).
+    """
+    return AnnotationHintSource(budgets, cap=cap)

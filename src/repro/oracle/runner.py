@@ -1,8 +1,10 @@
 """End-to-end oracle studies over one recorded LLC stream."""
 
+from collections import OrderedDict
 from dataclasses import dataclass
+from threading import Lock
 from typing import List, Optional, Sequence, Tuple
-from weakref import WeakKeyDictionary
+from weakref import ref
 
 from repro.cache.stream import LlcStream
 from repro.common.config import CacheGeometry
@@ -46,15 +48,38 @@ configuration (the paper's 6% -> 10%).
 """
 
 
-_ANNOTATION_MEMO: "WeakKeyDictionary" = WeakKeyDictionary()
-"""Per-stream cache of stream annotations, keyed by (horizon, cap).
+ANNOTATION_MEMO_CAPACITY = 32
+"""LRU bound on the annotation memo, in (stream, window, cap) entries.
+
+An annotation array is 4 bytes per access; a long capacity sweep over many
+streams could otherwise accumulate one array per (stream, window) pair
+with nothing ever letting go while the streams stay referenced by the
+experiment context. 32 comfortably covers every window a single study
+grid produces while keeping the worst case bounded.
+"""
+
+_ANNOTATION_MEMO: "OrderedDict" = OrderedDict()
+"""LRU cache of stream annotations, keyed by (stream ref, window, cap).
 
 The policy-free annotation depends on the geometry only through the window
 ``horizon_factor * geometry.num_blocks`` (and the saturation cap), so one
 computation serves every sweep cell whose window coincides — in particular
 every A1 variant of one study, and any capacity cells whose factor/horizon
-products collide. Memoized weakly: annotations die with their stream.
+products collide. Keys hold weak stream references (annotations die with
+their stream) and the mapping is bounded at
+:data:`ANNOTATION_MEMO_CAPACITY` entries, least-recently-used first out.
+Guarded by a lock: sharded replays may annotate from worker threads.
 """
+
+_ANNOTATION_MEMO_LOCK = Lock()
+_ANNOTATION_MEMO_COUNTERS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def _drop_dead_annotations(_dead_ref) -> None:
+    """Weakref callback: purge every entry whose stream has died."""
+    with _ANNOTATION_MEMO_LOCK:
+        for key in [k for k in _ANNOTATION_MEMO if k[0]() is None]:
+            del _ANNOTATION_MEMO[key]
 
 
 def stream_annotation(
@@ -69,18 +94,53 @@ def stream_annotation(
     across all callers whose effective window
     (``horizon_factor * geometry.num_blocks``, ``cap``) matches.
     """
-    per_stream = _ANNOTATION_MEMO.get(stream)
-    if per_stream is None:
-        per_stream = {}
-        _ANNOTATION_MEMO[stream] = per_stream
-    key = (horizon_factor * geometry.num_blocks, cap)
-    budgets = per_stream.get(key)
-    if budgets is None:
-        budgets = build_stream_annotation(
-            stream, geometry, horizon_factor=horizon_factor, cap=cap
-        )
-        per_stream[key] = budgets
+    key = (
+        ref(stream, _drop_dead_annotations),
+        horizon_factor * geometry.num_blocks,
+        cap,
+    )
+    with _ANNOTATION_MEMO_LOCK:
+        budgets = _ANNOTATION_MEMO.get(key)
+        if budgets is not None:
+            _ANNOTATION_MEMO.move_to_end(key)
+            _ANNOTATION_MEMO_COUNTERS["hits"] += 1
+            return budgets
+        _ANNOTATION_MEMO_COUNTERS["misses"] += 1
+    budgets = build_stream_annotation(
+        stream, geometry, horizon_factor=horizon_factor, cap=cap
+    )
+    with _ANNOTATION_MEMO_LOCK:
+        # A racing thread may have inserted the same key meanwhile; both
+        # computed bit-identical arrays, so last-writer-wins is harmless.
+        _ANNOTATION_MEMO[key] = budgets
+        _ANNOTATION_MEMO.move_to_end(key)
+        while len(_ANNOTATION_MEMO) > ANNOTATION_MEMO_CAPACITY:
+            _ANNOTATION_MEMO.popitem(last=False)
+            _ANNOTATION_MEMO_COUNTERS["evictions"] += 1
     return budgets
+
+
+def annotation_memo_stats() -> dict:
+    """Occupancy and hit/miss/eviction counters of the annotation memo.
+
+    Per-process and in-memory (``repro-sim cache info`` renders them for
+    the running process); ``entries`` counts live cached annotations,
+    ``capacity`` is :data:`ANNOTATION_MEMO_CAPACITY`.
+    """
+    with _ANNOTATION_MEMO_LOCK:
+        return {
+            "entries": len(_ANNOTATION_MEMO),
+            "capacity": ANNOTATION_MEMO_CAPACITY,
+            **_ANNOTATION_MEMO_COUNTERS,
+        }
+
+
+def annotation_memo_clear() -> None:
+    """Empty the annotation memo and zero its counters."""
+    with _ANNOTATION_MEMO_LOCK:
+        _ANNOTATION_MEMO.clear()
+        for counter in _ANNOTATION_MEMO_COUNTERS:
+            _ANNOTATION_MEMO_COUNTERS[counter] = 0
 
 
 @dataclass(frozen=True)
@@ -111,6 +171,7 @@ def run_oracle_study(
     cap: int = BUDGET_CAP,
     seed: int = 0,
     fastpath: Optional[bool] = None,
+    native: Optional[bool] = None,
 ) -> OracleStudyResult:
     """Measure the sharing oracle's gain over ``base`` on ``stream``.
 
@@ -137,13 +198,18 @@ def run_oracle_study(
             base identically so only the oracle differs).
         fastpath: three-state gate for the exact replay fast paths on the
             base replay — stack-distance for plain LRU, set-partitioned
-            for other eligible bases (None = auto; the oracle-wrapped
-            replay always uses the scalar model).
+            for other eligible bases (None = auto).
+        native: three-state gate for the native scalar backend on the
+            oracle-wrapped replay — annotation-backed wrappers over {LRU,
+            SRRIP, SHiP} lower onto the compiled/compact oracle kernels
+            (:func:`repro.sim.nativepath.replay_oracle_nativepath`, bit-
+            identical); ``False`` or ``REPRO_SIM_NO_NATIVE`` restores the
+            scalar object model.
     """
     return run_oracle_variants(
         stream, geometry, [(mode, release)], base=base,
         horizon_turnovers=horizon_turnovers, horizon_factor=horizon_factor,
-        cap=cap, seed=seed, fastpath=fastpath,
+        cap=cap, seed=seed, fastpath=fastpath, native=native,
     )[0]
 
 
@@ -200,6 +266,7 @@ def run_oracle_variants(
     cap: int = BUDGET_CAP,
     seed: int = 0,
     fastpath: Optional[bool] = None,
+    native: Optional[bool] = None,
 ) -> List[OracleStudyResult]:
     """One oracle study per ``(mode, release)`` variant, sharing every
     variant-independent pass.
@@ -207,10 +274,14 @@ def run_oracle_variants(
     The base replay, the measured fill-sharing fraction, the horizon
     derivation, and the stream annotation do not depend on the protection
     variant — only the wrapped oracle replay does. A whole A1-style
-    ablation therefore costs one base pass, one annotation, and one scalar
-    oracle replay per variant, with every cell bit-identical to an
+    ablation therefore costs one base pass, one annotation, and one
+    wrapped replay per variant, with every cell bit-identical to an
     independent :func:`run_oracle_study` call. Results align positionally
-    with ``variants``.
+    with ``variants``. The wrapped replay routes through the replay
+    dispatch, so annotation-backed wrappers over {LRU, SRRIP, SHiP} take
+    the native oracle kernels unless gated off (``fastpath=False``,
+    ``native=False``, or their environment toggles); the wrapper's study
+    counters are identical either way.
     """
     if horizon_turnovers <= 0:
         raise ConfigError(
@@ -225,9 +296,13 @@ def run_oracle_variants(
     for mode, release in variants:
         wrapper = SharingAwareWrapper(
             make_policy(base, seed=derive_seed(seed, "oracle-base", base)),
-            oracle_hint_source(budgets), mode, release=release,
+            oracle_hint_source(budgets, cap=cap), mode, release=release,
         )
-        oracle_result = LlcOnlySimulator(geometry, wrapper).run(stream)
+        oracle_result = try_fast_replay(
+            stream, geometry, wrapper, fastpath=fastpath, native=native,
+        )
+        if oracle_result is None:
+            oracle_result = LlcOnlySimulator(geometry, wrapper).run(stream)
         studies.append(OracleStudyResult(
             base=base_result,
             oracle=oracle_result,
@@ -250,6 +325,7 @@ def run_oracle_study_grid(
     cap: int = BUDGET_CAP,
     seed: int = 0,
     fastpath: Optional[bool] = None,
+    native: Optional[bool] = None,
 ) -> List[OracleStudyResult]:
     """One oracle study per geometry over a single stream — the F7 grid.
 
@@ -268,7 +344,7 @@ def run_oracle_study_grid(
             stream, geometry, base=base, mode=mode, release=release,
             horizon_turnovers=horizon_turnovers,
             horizon_factor=horizon_factor, cap=cap, seed=seed,
-            fastpath=fastpath,
+            fastpath=fastpath, native=native,
         )
         for geometry in geometries
     ]

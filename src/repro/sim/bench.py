@@ -31,11 +31,26 @@ once and excluded):
   ``--min-nativepath-speedup``) — the native kernel is bit-identical to
   the model, so losing the speedup means the scalar tier silently
   regressed to model throughput.
+* ``warm_replay_oracle_native`` / ``warm_replay_oracle_scalar`` — the
+  sharing-oracle wrapper (:class:`repro.oracle.SharingAwareWrapper`
+  over SHiP, ``mode="both"``) replayed through the native oracle
+  kernels versus the scalar object model. The stream annotation is
+  precomputed outside the timed window, so the pair times the wrapped
+  replay alone — exactly what the oracle lowering accelerates. The CI
+  smoke gate bounds the pair's speedup from below (it shares
+  :data:`NATIVEPATH_GATE_PAIRS` with the SHiP pair): both backends are
+  bit-identical, counters included, so losing the speedup means the
+  oracle tier silently fell back to the model.
 * ``warm_replay_srrip_sharded`` — the set-partitioned SRRIP cell with
   the per-set loop sharded over two intra-replay worker threads
   (``kernel_jobs=2``). Tracked but not gated: pure-Python shards share
   the GIL, so thread scaling is only expected of the numba/numpy
   kernels; the cell exists to catch pathological sharding overhead.
+* ``warm_replay_drrip_sharded`` — the dueling DRRIP cell with the
+  *follower* phase sharded over two worker threads (the leader pass and
+  PSEL reconstruction stay serial; see
+  :func:`repro.sim.setpath.replay_setpath`). Tracked but not gated, for
+  the same GIL reason as the SRRIP sharded cell.
 * ``warm_sweep_grid`` / ``warm_sweep_grid_percell`` — a whole
   configuration grid (four-associativity LRU capacity grid plus a
   four-point SRRIP ``rrpv_bits`` parameter grid) replayed in shared
@@ -76,6 +91,10 @@ from repro.common.config import CacheGeometry
 from repro.common.errors import ConfigError
 from repro.common.npsupport import HAVE_NUMPY
 from repro.common.stats import ratio
+from repro.oracle.annotate import oracle_hint_source
+from repro.oracle.runner import stream_annotation
+from repro.oracle.wrapper import SharingAwareWrapper
+from repro.policies.registry import make_policy
 from repro.policies.rrip import SrripPolicy
 from repro.sim.gridpath import replay_lru_grid, replay_param_grid
 from repro.sim.multipass import run_policy_on_stream
@@ -111,8 +130,16 @@ GRIDPATH_GATE_PAIRS = {
 
 NATIVEPATH_GATE_PAIRS = {
     "warm_replay_ship_native": "warm_replay_ship_scalar",
+    "warm_replay_oracle_native": "warm_replay_oracle_scalar",
 }
 """Native scalar-backend cell -> its forced-model twin (speedup gate)."""
+
+ORACLE_HORIZON_FACTOR = 4
+"""Fixed retention horizon (capacity multiples) of the bench oracle cells.
+
+The auto horizon depends on the measured base miss ratio; pinning it keeps
+the annotation — and therefore the timed work — identical across machines
+and revisions."""
 
 GRID_WAYS = (4, 8, 16, 32)
 """Associativity axis of the bench LRU capacity grid (fixed set count)."""
@@ -167,6 +194,22 @@ def bench_cells(context, workload: str, repeats: int) -> Dict[str, Dict]:
             native=native, kernel_jobs=kernel_jobs,
         )
 
+    # Oracle pair: the annotation is computed (and memoized) here, before
+    # any timing, so the cells time only the wrapped replay. A fresh
+    # wrapper per run — its budgets and study counters are replay state.
+    budgets = stream_annotation(stream, geometry, ORACLE_HORIZON_FACTOR)
+
+    def replay_oracle(native: bool):
+        def run():
+            wrapper = SharingAwareWrapper(
+                make_policy("ship", seed=seed),
+                oracle_hint_source(budgets), "both",
+            )
+            run_policy_on_stream(
+                stream, geometry, wrapper, seed=seed, native=native,
+            )
+        return run
+
     def probed(probes: Tuple[str, ...], fastpath: Optional[bool]):
         return lambda: run_probed_replay(
             stream, geometry, "lru", list(probes), seed=seed,
@@ -210,7 +253,10 @@ def bench_cells(context, workload: str, repeats: int) -> Dict[str, Dict]:
         "warm_replay_ship": replay("ship", None),
         "warm_replay_ship_native": replay("ship", None, native=True),
         "warm_replay_ship_scalar": replay("ship", None, native=False),
+        "warm_replay_oracle_native": replay_oracle(True),
+        "warm_replay_oracle_scalar": replay_oracle(False),
         "warm_replay_srrip_sharded": replay("srrip", None, kernel_jobs=2),
+        "warm_replay_drrip_sharded": replay("drrip", None, kernel_jobs=2),
         "warm_sweep_grid": sweep_grid,
         "warm_sweep_grid_percell": sweep_grid_percell,
         OVERHEAD_CELL: probed((), False),

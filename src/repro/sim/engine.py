@@ -4,6 +4,21 @@ Replays a recorded :class:`repro.cache.LlcStream` against a single
 :class:`SharedLlc`. Because the stream was fixed by the recording pass,
 every policy replayed this way sees identical accesses — the property OPT,
 the oracle, and fair policy comparisons all rely on.
+
+This model loop is also the *reference semantics* of every accelerated
+replay tier: the stack fast path, the set-partitioned and dueling kernels
+(:mod:`repro.sim.setpath`), and the native scalar/oracle backends
+(:mod:`repro.sim.nativepath`) are all required to reproduce, bit for bit,
+what this loop produces — hit/miss counts, per-set decision order, and
+(for the oracle wrapper) the study counters. Results therefore carry
+provenance: this simulator stamps ``backend="model"``; accelerated paths
+stamp their tier/backend (``compact``/``numba``/``numpy``/``python``,
+plus ``+threadsN`` when a replay genuinely sharded over N worker
+threads). Disabling the accelerations (``fastpath=False``,
+``native=False``, or the ``REPRO_SIM_NO_*`` environment toggles) must
+always land back here. Stream columns are duck-typed — ``array.array``
+from the builder, numpy views after a zero-copy load — and the loop only
+relies on iteration and ``!=``, which both provide.
 """
 
 from time import perf_counter

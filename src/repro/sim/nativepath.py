@@ -25,13 +25,24 @@ This module supplies that backend, in three layers:
   compacted to dense ids so residency lookup is an array index, not a
   dict probe). Auto-selected when numba imports; the container/CI matrix
   without numba lands on the compact twin.
+* **Oracle-tier kernels** (:func:`_oracle_count_compact` /
+  :func:`_oracle_count_numba`) — the same two-layer treatment for
+  :class:`repro.oracle.wrapper.SharingAwareWrapper` over {LRU, SRRIP,
+  SHiP} when its hint source is an offline annotation
+  (:class:`repro.oracle.annotate.AnnotationHintSource`): hints are pure
+  per-ordinal data, so they export as an int8 column aligned with the
+  stream and the whole protection protocol (victim exemption, synthetic
+  promote-hits, budget releases) runs inside the kernel loop. The
+  wrapper's study counters are written back onto the instance.
 * **Dispatch** (:func:`try_native_replay`) — called by
   :func:`repro.sim.setpath.try_fast_replay` when a replay resolves to the
   scalar tier: exact-type unbound :class:`ShipPolicy` replays with no
-  observers route here, everything else (undeclared subclasses, bound
-  instances, observer-carrying replays, ``REPRO_SIM_NO_NATIVE``) falls
-  back to the scalar model with the chosen backend recorded in the
-  result's ``backend`` provenance field.
+  observers route here, as do native-eligible oracle wrappers
+  (:func:`oracle_native_spec`); everything else (undeclared subclasses,
+  bound instances, live predictor hint sources, observer-carrying
+  replays, ``REPRO_SIM_NO_NATIVE``) falls back to the scalar model with
+  the chosen backend recorded in the result's ``backend`` provenance
+  field.
 
 The module also owns the ``--kernel-jobs`` resolution used by the
 set-partitioned engine's intra-replay sharding
@@ -49,6 +60,8 @@ from repro.common.config import CacheGeometry
 from repro.common.envflag import env_flag
 from repro.common.npsupport import HAVE_NUMPY, require_numpy, should_vectorize
 from repro.policies.base import REPLAY_SCALAR
+from repro.policies.lru import LruPolicy
+from repro.policies.rrip import SrripPolicy
 from repro.policies.ship import ShipPolicy
 from repro.sim.results import LlcSimResult
 
@@ -316,6 +329,510 @@ def _ship_count_numba(stream: LlcStream, sig_mask: int, num_sets: int,
 
 
 # ----------------------------------------------------------------------
+# Oracle-tier kernels: SharingAwareWrapper over {LRU, SRRIP, SHiP}
+# ----------------------------------------------------------------------
+#
+# The wrapper's replay-relevant state is as flat as SHiP's: one budget and
+# one fill-core per frame on top of the base policy's own metadata, plus
+# three global counters. Its hint source — when it is an offline
+# annotation (repro.oracle.annotate.AnnotationHintSource) — is pure data
+# keyed by the access ordinal, so the whole protection protocol lowers to
+# an int column aligned with the stream: hints[i] == budgets[i + 1].
+# The kernels below transcribe SharingAwareWrapper + base bit-exactly:
+# base.on_evict runs before the budget reset, the synthetic promote-hit of
+# insert-promote/both runs *after* the base fill (for SHiP that increments
+# the incoming signature's SHCT counter, exactly as the scalar model
+# does), and victim selection walks the base's preference order skipping
+# protected ways, with the "nothing protected in this set" short-circuit
+# kept O(1) by a per-set protected-way count.
+
+_FAMILY_ORACLE_LRU = 0
+_FAMILY_ORACLE_SRRIP = 1
+_FAMILY_ORACLE_SHIP = 2
+
+# Exact base-policy type -> family code. Subclasses (LIP, BRRIP, DRRIP,
+# undeclared user policies) are deliberately absent: they change fill or
+# victim behaviour and must take the object model.
+_ORACLE_BASE_FAMILIES = {
+    LruPolicy: _FAMILY_ORACLE_LRU,
+    SrripPolicy: _FAMILY_ORACLE_SRRIP,
+    ShipPolicy: _FAMILY_ORACLE_SHIP,
+}
+
+_ORACLE_MODES = {"victim-exempt": 0, "insert-promote": 1, "both": 2}
+_ORACLE_RELEASES = {"budget": 0, "first-share": 1, "never": 2}
+
+_ORACLE_NUMBA_KERNEL = None
+
+_HINT_INT8_MAX = 127
+"""Hints export as an int8 column; wrappers whose annotation cap exceeds
+this (never the default ``BUDGET_CAP``) fall back to the object model."""
+
+
+def _oracle_count_compact(blocks, cores, hints, sigs, num_sets: int,
+                          ways: int, family: int, mode: int, release: int,
+                          rmax: int, cmax: int, shct):
+    """Count-mode wrapped replay over flat per-set lists.
+
+    Returns ``(hits, protected_fills, exemptions, releases)`` — the hit
+    count plus the wrapper's three study counters, bit-exact against
+    ``SharedLlc.access`` driving ``SharingAwareWrapper`` (the differential
+    suite pins every (family, mode, release) cell). ``sigs``/``shct`` are
+    only read by the SHiP family; ``rmax``/``cmax`` only by RRIP/SHiP.
+    """
+    set_mask = num_sets - 1
+    where: dict = {}  # block -> (set, way)
+    get = where.get
+    blk_rows = [[0] * ways for __ in range(num_sets)]
+    # LRU keeps recency stamps in meta, RRIP/SHiP keep RRPVs.
+    init_meta = 0 if family == _FAMILY_ORACLE_LRU else rmax
+    meta_rows = [[init_meta] * ways for __ in range(num_sets)]
+    sig_rows = [[0] * ways for __ in range(num_sets)]
+    out_rows = [[0] * ways for __ in range(num_sets)]
+    budget_rows = [[0] * ways for __ in range(num_sets)]
+    core_rows = [[0] * ways for __ in range(num_sets)]
+    filled = [0] * num_sets
+    protected = [0] * num_sets
+    clock = 0
+    hits = protected_fills = exemptions = released = 0
+    for i, block in enumerate(blocks):
+        entry = get(block)
+        if entry is not None:
+            s, way = entry
+            hits += 1
+            mrow = meta_rows[s]
+            if family == _FAMILY_ORACLE_LRU:
+                clock += 1
+                mrow[way] = clock
+            else:
+                mrow[way] = 0
+                if family == _FAMILY_ORACLE_SHIP:
+                    orow = out_rows[s]
+                    if not orow[way]:
+                        orow[way] = 1
+                        g2 = sig_rows[s][way]
+                        if shct[g2] < cmax:
+                            shct[g2] += 1
+            if release != 2:
+                brow = budget_rows[s]
+                b = brow[way]
+                if b > 0 and cores[i] != core_rows[s][way]:
+                    b = 0 if release == 1 else b - 1
+                    brow[way] = b
+                    if b == 0:
+                        protected[s] -= 1
+                        released += 1
+            continue
+        s = block & set_mask
+        mrow = meta_rows[s]
+        brow = budget_rows[s]
+        f = filled[s]
+        if f < ways:
+            way = f
+            filled[s] = f + 1
+        else:
+            exempt = mode != 1 and protected[s] > 0
+            if family == _FAMILY_ORACLE_LRU:
+                # first = the base's unconstrained pick (argmin stamp,
+                # lowest way on ties — list.index semantics).
+                first = 0
+                first_stamp = mrow[0]
+                for w in range(1, ways):
+                    if mrow[w] < first_stamp:
+                        first, first_stamp = w, mrow[w]
+                way = first
+                if exempt:
+                    best = -1
+                    best_stamp = 0
+                    for w in range(ways):
+                        if brow[w] <= 0 and (best < 0 or mrow[w] < best_stamp):
+                            best, best_stamp = w, mrow[w]
+                    if best >= 0:
+                        way = best
+                        if way != first:
+                            exemptions += 1
+            else:
+                # SRRIP aging exactly as rank_victims/select_victim do
+                # (closed-form delta), then walk descending-RRPV order.
+                top = max(mrow)
+                if top != rmax:
+                    delta = rmax - top
+                    for w in range(ways):
+                        mrow[w] += delta
+                first = mrow.index(rmax)
+                way = first
+                if exempt:
+                    best = -1
+                    for v in range(rmax, -1, -1):
+                        for w in range(ways):
+                            if mrow[w] == v and brow[w] <= 0:
+                                best = w
+                                break
+                        if best >= 0:
+                            break
+                    if best >= 0:
+                        way = best
+                        if way != first:
+                            exemptions += 1
+            victim = blk_rows[s][way]
+            del where[victim]
+            if family == _FAMILY_ORACLE_SHIP and not out_rows[s][way]:
+                g2 = sig_rows[s][way]
+                if shct[g2] > 0:
+                    shct[g2] -= 1
+            if brow[way] > 0:
+                protected[s] -= 1
+                brow[way] = 0
+        # Fill: base first, then the wrapper's protection bookkeeping and
+        # (insert-promote/both) the synthetic promote-hit.
+        if family == _FAMILY_ORACLE_LRU:
+            clock += 1
+            mrow[way] = clock
+        elif family == _FAMILY_ORACLE_SRRIP:
+            mrow[way] = rmax - 1
+        else:
+            g = sigs[i]
+            sig_rows[s][way] = g
+            out_rows[s][way] = 0
+            mrow[way] = rmax if shct[g] == 0 else rmax - 1
+        h = hints[i]
+        brow[way] = h
+        core_rows[s][way] = cores[i]
+        if h > 0:
+            protected[s] += 1
+            protected_fills += 1
+            if mode != 0:
+                if family == _FAMILY_ORACLE_LRU:
+                    clock += 1
+                    mrow[way] = clock
+                else:
+                    mrow[way] = 0
+                    if family == _FAMILY_ORACLE_SHIP:
+                        out_rows[s][way] = 1
+                        g = sig_rows[s][way]
+                        if shct[g] < cmax:
+                            shct[g] += 1
+        blk_rows[s][way] = block
+        where[block] = (s, way)
+    return hits, protected_fills, exemptions, released
+
+
+def _oracle_numba_kernel():
+    """Compile (once) and return the nopython wrapped-replay kernel.
+
+    One compilation serves every (family, mode, release) cell — they are
+    plain int arguments branched on at run time, which costs nothing next
+    to avoiding nine specializations' compile latency.
+    """
+    global _ORACLE_NUMBA_KERNEL
+    if _ORACLE_NUMBA_KERNEL is None:  # pragma: no cover - needs numba
+        numba = _numba()
+
+        @numba.njit(nogil=True, cache=False)
+        def kernel(ids, sets, cores, hints, sigs, ways, family, mode,
+                   release, rmax, cmax, where, blk, meta, sig, out, budget,
+                   fillcore, filled, protected, shct):
+            clock = 0
+            hits = 0
+            protected_fills = 0
+            exemptions = 0
+            released = 0
+            for i in range(ids.shape[0]):
+                bid = ids[i]
+                pos = where[bid]
+                if pos >= 0:
+                    hits += 1
+                    if family == 0:
+                        clock += 1
+                        meta[pos] = clock
+                    else:
+                        meta[pos] = 0
+                        if family == 2:
+                            if out[pos] == 0:
+                                out[pos] = 1
+                                g2 = sig[pos]
+                                if shct[g2] < cmax:
+                                    shct[g2] += 1
+                    if release != 2:
+                        b = budget[pos]
+                        if b > 0 and cores[i] != fillcore[pos]:
+                            if release == 1:
+                                b = 0
+                            else:
+                                b -= 1
+                            budget[pos] = b
+                            if b == 0:
+                                protected[sets[i]] -= 1
+                                released += 1
+                    continue
+                s = sets[i]
+                base = s * ways
+                f = filled[s]
+                if f < ways:
+                    pos = base + f
+                    filled[s] = f + 1
+                else:
+                    exempt = mode != 1 and protected[s] > 0
+                    if family == 0:
+                        first = base
+                        first_stamp = meta[base]
+                        for w in range(1, ways):
+                            if meta[base + w] < first_stamp:
+                                first = base + w
+                                first_stamp = meta[base + w]
+                        pos = first
+                        if exempt:
+                            best = -1
+                            best_stamp = 0
+                            for w in range(ways):
+                                p = base + w
+                                if budget[p] <= 0 and (
+                                    best < 0 or meta[p] < best_stamp
+                                ):
+                                    best = p
+                                    best_stamp = meta[p]
+                            if best >= 0:
+                                pos = best
+                                if pos != first:
+                                    exemptions += 1
+                    else:
+                        top = meta[base]
+                        for w in range(1, ways):
+                            if meta[base + w] > top:
+                                top = meta[base + w]
+                        if top != rmax:
+                            delta = rmax - top
+                            for w in range(ways):
+                                meta[base + w] += delta
+                        first = base
+                        for w in range(ways):
+                            if meta[base + w] == rmax:
+                                first = base + w
+                                break
+                        pos = first
+                        if exempt:
+                            best = -1
+                            for v in range(rmax, -1, -1):
+                                for w in range(ways):
+                                    p = base + w
+                                    if meta[p] == v and budget[p] <= 0:
+                                        best = p
+                                        break
+                                if best >= 0:
+                                    break
+                            if best >= 0:
+                                pos = best
+                                if pos != first:
+                                    exemptions += 1
+                    where[blk[pos]] = -1
+                    if family == 2 and out[pos] == 0:
+                        g2 = sig[pos]
+                        if shct[g2] > 0:
+                            shct[g2] -= 1
+                    if budget[pos] > 0:
+                        protected[s] -= 1
+                        budget[pos] = 0
+                if family == 0:
+                    clock += 1
+                    meta[pos] = clock
+                elif family == 1:
+                    meta[pos] = rmax - 1
+                else:
+                    g = sigs[i]
+                    sig[pos] = g
+                    out[pos] = 0
+                    if shct[g] == 0:
+                        meta[pos] = rmax
+                    else:
+                        meta[pos] = rmax - 1
+                h = hints[i]
+                budget[pos] = h
+                fillcore[pos] = cores[i]
+                if h > 0:
+                    protected[s] += 1
+                    protected_fills += 1
+                    if mode != 0:
+                        if family == 0:
+                            clock += 1
+                            meta[pos] = clock
+                        else:
+                            meta[pos] = 0
+                            if family == 2:
+                                out[pos] = 1
+                                g = sig[pos]
+                                if shct[g] < cmax:
+                                    shct[g] += 1
+                blk[pos] = bid
+                where[bid] = pos
+            return hits, protected_fills, exemptions, released
+
+        _ORACLE_NUMBA_KERNEL = kernel
+    return _ORACLE_NUMBA_KERNEL
+
+
+def _oracle_count_numba(stream: LlcStream, hints, sig_mask: int,
+                        num_sets: int, ways: int, family: int, mode: int,
+                        release: int, rmax: int, cmax: int, shct):
+    """Numba-compiled wrapped replay; returns the compact kernel's tuple.
+
+    Same dense-id compaction as :func:`_ship_count_numba`, plus the int8
+    hint column and the core column (the release protocol compares the
+    hitting core against the filler).
+    """  # pragma: no cover - needs numba
+    np = require_numpy()
+    cores_np, pcs, blocks, __ = stream.numpy_columns()
+    uniq, ids = np.unique(blocks, return_inverse=True)
+    ids = ids.astype(np.int32)
+    sets = (blocks & np.int64(num_sets - 1)).astype(np.int32)
+    if family == _FAMILY_ORACLE_SHIP:
+        sigs = (((pcs >> 2) ^ (pcs >> 11) ^ (pcs >> 19))
+                & np.int64(sig_mask)).astype(np.int32)
+    else:
+        sigs = np.zeros(len(ids), dtype=np.int32)
+    frames = num_sets * ways
+    state_where = np.full(len(uniq), -1, dtype=np.int32)
+    state_blk = np.zeros(frames, dtype=np.int32)
+    # meta holds LRU clock stamps (monotone over the stream) or RRPVs;
+    # int64 covers both without a family-specific dtype.
+    init_meta = 0 if family == _FAMILY_ORACLE_LRU else rmax
+    state_meta = np.full(frames, init_meta, dtype=np.int64)
+    state_sig = np.zeros(frames, dtype=np.int32)
+    state_out = np.zeros(frames, dtype=np.int8)
+    state_budget = np.zeros(frames, dtype=np.int32)
+    state_fillcore = np.zeros(frames, dtype=np.int32)
+    state_filled = np.zeros(num_sets, dtype=np.int32)
+    state_protected = np.zeros(num_sets, dtype=np.int32)
+    state_shct = np.asarray(shct, dtype=np.int32)
+    kernel = _oracle_numba_kernel()
+    hits, pf, ex, rel = kernel(
+        ids, sets, cores_np.astype(np.int32), hints, sigs, ways, family,
+        mode, release, rmax, cmax, state_where, state_blk, state_meta,
+        state_sig, state_out, state_budget, state_fillcore, state_filled,
+        state_protected, state_shct,
+    )
+    return int(hits), int(pf), int(ex), int(rel)
+
+
+def oracle_native_spec(policy):
+    """``(family, base, hint_source)`` when the native oracle path covers
+    ``policy``, else ``None``.
+
+    The guards mirror :func:`native_eligible`, extended across the
+    composition: the wrapper itself must be the exact class and unbound,
+    its base an exact-type unbound {LRU, SRRIP, SHiP}, and its hint source
+    an exact :class:`repro.oracle.annotate.AnnotationHintSource` whose cap
+    fits the int8 hint column. Anything else — undeclared subclasses,
+    bound instances, live predictor hint sources — takes the object model.
+    """
+    # Imported lazily: repro.oracle pulls in the replay dispatch at module
+    # import, so a top-level import here would be circular.
+    from repro.oracle.annotate import AnnotationHintSource
+    from repro.oracle.wrapper import SharingAwareWrapper
+
+    if type(policy) is not SharingAwareWrapper or policy.geometry is not None:
+        return None
+    base = policy.base
+    family = _ORACLE_BASE_FAMILIES.get(type(base))
+    if family is None or base.geometry is not None:
+        return None
+    source = policy.hint_source
+    if type(source) is not AnnotationHintSource:
+        return None
+    if source.cap > _HINT_INT8_MAX:
+        return None
+    return family, base, source
+
+
+def replay_oracle_nativepath(
+    stream: LlcStream,
+    geometry: CacheGeometry,
+    policy,
+    use_numpy: Optional[bool] = None,
+    profile=None,
+) -> Optional[LlcSimResult]:
+    """Replay ``stream`` under an unbound oracle wrapper, natively.
+
+    Classification twin of ``LlcOnlySimulator(geometry, policy).run``:
+    same hit/miss counts *and* the wrapper's study counters
+    (``protected_fills``/``exemptions_applied``/``releases``) written back
+    onto the instance — :func:`repro.oracle.runner.run_oracle_variants`
+    reads them off the wrapper after the replay, whichever backend ran.
+    The wrapper and its base stay unbound. Returns ``None`` (caller falls
+    back) when the wrapper is not native-eligible or its annotation is not
+    aligned with this stream.
+    """
+    spec = oracle_native_spec(policy)
+    if spec is None:
+        return None
+    family, base, source = spec
+    budgets = source.budgets
+    n = len(stream.blocks)
+    if len(budgets) != n + 1:
+        # The annotation was built for a different stream; hints cannot be
+        # exported by ordinal. The model reproduces whatever (possibly
+        # out-of-range) hints the closure would serve.
+        return None
+    start = perf_counter()
+    from repro.sim.fastpath import VECTORIZE_THRESHOLD
+
+    use_np = should_vectorize(use_numpy, n, VECTORIZE_THRESHOLD)
+    mode = _ORACLE_MODES[policy.mode]
+    release = _ORACLE_RELEASES[policy.release]
+    if family == _FAMILY_ORACLE_SHIP:
+        rmax = base.rrpv_max
+        cmax = base.counter_max
+        sig_mask = base.shct_size - 1
+        shct = list(base._shct)  # never mutate the caller's instance
+    else:
+        rmax = base.rrpv_max if family == _FAMILY_ORACLE_SRRIP else 0
+        cmax = 0
+        sig_mask = 0
+        shct = [0]
+    backend = BACKEND_NUMBA if (have_numba() and HAVE_NUMPY) else BACKEND_COMPACT
+    prep_start = perf_counter()
+    if backend == BACKEND_NUMBA:  # pragma: no cover - needs numba
+        np = require_numpy()
+        # budgets[i + 1] is access i's hint: one aligned int8 column.
+        hints = np.frombuffer(budgets, dtype=np.int32)[1:].astype(np.int8)
+        if profile is not None:
+            profile["native_prepare"] = perf_counter() - prep_start
+        kernel_start = perf_counter()
+        hits, pf, ex, rel = _oracle_count_numba(
+            stream, hints, sig_mask, geometry.num_sets, geometry.ways,
+            family, mode, release, rmax, cmax, shct,
+        )
+    else:
+        hints = budgets[1:]
+        sigs = (
+            _hash_pcs(stream.pcs, sig_mask, use_np)
+            if family == _FAMILY_ORACLE_SHIP else None
+        )
+        if profile is not None:
+            profile["native_prepare"] = perf_counter() - prep_start
+        kernel_start = perf_counter()
+        hits, pf, ex, rel = _oracle_count_compact(
+            stream.blocks, stream.cores, hints, sigs, geometry.num_sets,
+            geometry.ways, family, mode, release, rmax, cmax, shct,
+        )
+    if profile is not None:
+        profile["native_kernel"] = perf_counter() - kernel_start
+        profile["native_backend"] = backend
+    policy.protected_fills += pf
+    policy.exemptions_applied += ex
+    policy.releases += rel
+    return LlcSimResult(
+        policy=policy.name,
+        stream_name=stream.name,
+        accesses=n,
+        hits=hits,
+        misses=n - hits,
+        elapsed_sec=perf_counter() - start,
+        tier=REPLAY_SCALAR,
+        backend=backend,
+    )
+
+
+# ----------------------------------------------------------------------
 # Replay entry point + dispatch
 # ----------------------------------------------------------------------
 
@@ -410,15 +927,22 @@ def try_native_replay(
     Returns ``None`` — caller proceeds to the scalar model — whenever the
     backend is gated off (``native=False`` or ``REPRO_SIM_NO_NATIVE``),
     observers need the full residency callback stream, or the policy is
-    not an exact-type unbound SHiP (name or instance). ``policy`` given as
-    the name ``"ship"`` constructs the registry default, matching what the
-    scalar fallback would build.
+    neither an exact-type unbound SHiP (name or instance) nor an
+    exact-type unbound :class:`SharingAwareWrapper` over {LRU, SRRIP,
+    SHiP} with an annotation-backed hint source (see
+    :func:`oracle_native_spec`). ``policy`` given as the name ``"ship"``
+    constructs the registry default, matching what the scalar fallback
+    would build.
     """
     if observers or not native_enabled(native):
         return None
-    if not native_eligible(policy):
+    if native_eligible(policy):
+        instance = policy if isinstance(policy, ShipPolicy) else ShipPolicy()
+        return replay_ship_nativepath(
+            stream, geometry, instance, use_numpy=use_numpy, profile=profile,
+        )
+    if isinstance(policy, str):
         return None
-    instance = policy if isinstance(policy, ShipPolicy) else ShipPolicy()
-    return replay_ship_nativepath(
-        stream, geometry, instance, use_numpy=use_numpy, profile=profile,
+    return replay_oracle_nativepath(
+        stream, geometry, policy, use_numpy=use_numpy, profile=profile,
     )

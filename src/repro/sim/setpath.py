@@ -1091,6 +1091,34 @@ def _follower_pass(part: StreamPartition, geometry: CacheGeometry,
     return hits
 
 
+def _sharded_follower_pass(part: StreamPartition, geometry: CacheGeometry,
+                           policy, lookup, followers: List[int],
+                           kernel_jobs: int) -> Tuple[int, int]:
+    """Count-mode follower phase split across worker threads.
+
+    Followers are independent of each other once the PSEL flag series is
+    reconstructed — each reads its own contiguous slice of the partition,
+    its own RNG stream, and the shared read-only ``lookup`` closure — so
+    contiguous ranges of the follower list shard exactly like the plain
+    set-tier count kernels (:func:`_plain_pass`). Per-set RNG streams are
+    materialized serially first (``set_rng`` mutates a shared dict).
+    Returns ``(hits, threads)`` with the thread count actually used.
+    """
+    for s in followers:
+        policy.set_rng(s)
+    jobs = min(kernel_jobs, len(followers))
+    # Balanced contiguous ranges: exactly `jobs` non-empty shards.
+    bounds = [(i * len(followers) // jobs, (i + 1) * len(followers) // jobs)
+              for i in range(jobs)]
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        shards = [
+            pool.submit(_follower_pass, part, geometry, policy, None,
+                        lookup, followers[lo:hi])
+            for lo, hi in bounds
+        ]
+        return sum(shard.result() for shard in shards), jobs
+
+
 def _gather_next_use(next_use, part: StreamPartition, use_np: bool):
     """Group the precomputed next-use column by the partition order."""
     if use_np and part.order_np is not None:
@@ -1191,7 +1219,7 @@ def _needs_set_rngs(policy) -> bool:
 
 def _plain_pass(part: StreamPartition, geometry: CacheGeometry,
                 policy, buf: Optional[_WalkBuf], use_np: bool,
-                kernel_jobs: int = 1) -> int:
+                kernel_jobs: int = 1) -> Tuple[int, int]:
     """Replay every set of a non-dueling per-set policy.
 
     With ``kernel_jobs > 1`` in count mode, the per-set loop is sharded
@@ -1199,6 +1227,9 @@ def _plain_pass(part: StreamPartition, geometry: CacheGeometry,
     per-set decomposition already isolates every set's state and RNG
     stream (DESIGN.md decision 11), so the shard boundaries change nothing
     but wall-clock. Walk mode (shared skeleton buffer) stays serial.
+    Returns ``(hits, threads)``: the worker-thread count actually used (1
+    when the pass ran serially), which is what the result's backend
+    provenance records — never the requested job count.
     """
     cls = type(policy)
     family = _KERNEL_FAMILIES[cls]
@@ -1219,16 +1250,17 @@ def _plain_pass(part: StreamPartition, geometry: CacheGeometry,
             for s in range(num_sets):
                 policy.set_rng(s)
         jobs = min(kernel_jobs, num_sets)
-        step = -(-num_sets // jobs)  # ceil division: contiguous ranges
-        bounds = [(lo, min(lo + step, num_sets))
-                  for lo in range(0, num_sets, step)]
-        with ThreadPoolExecutor(max_workers=len(bounds)) as pool:
+        # Balanced contiguous ranges: exactly `jobs` non-empty shards, so
+        # the provenance stamp always matches the threads actually used.
+        bounds = [(i * num_sets // jobs, (i + 1) * num_sets // jobs)
+                  for i in range(jobs)]
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
             shards = [
                 pool.submit(_plain_pass_range, part, geometry, policy, None,
                             grouped_next, lo, hi)
                 for lo, hi in bounds
             ]
-            return sum(shard.result() for shard in shards)
+            return sum(shard.result() for shard in shards), jobs
     if (
         buf is None and use_np and part.blocks_np is not None
         and cls is SrripPolicy
@@ -1236,16 +1268,26 @@ def _plain_pass(part: StreamPartition, geometry: CacheGeometry,
         # Count-mode SRRIP has a fully synchronous vectorized kernel (no
         # RNG, no residency skeleton to record); BRRIP's per-set draws
         # and walk mode stay on the per-set kernels.
-        return _count_rrip_sync(part, geometry.ways, policy.rrpv_max)
+        return _count_rrip_sync(part, geometry.ways, policy.rrpv_max), 1
     return _plain_pass_range(part, geometry, policy, buf, grouped_next,
-                             0, num_sets)
+                             0, num_sets), 1
 
 
 def _run_partitioned(part: StreamPartition, geometry: CacheGeometry,
                      policy, buf: Optional[_WalkBuf], use_np: bool,
-                     profile=None, kernel_jobs: int = 1) -> int:
-    """Replay every set (count mode when ``buf`` is None); returns hits."""
+                     profile=None, kernel_jobs: int = 1) -> Tuple[int, int]:
+    """Replay every set (count mode when ``buf`` is None).
+
+    Returns ``(hits, threads)`` — the hit count and the worker-thread
+    count the sharded phase actually used (1 when everything ran
+    serially). Dueling policies shard only the follower phase: the leader
+    pass must run first to produce the PSEL event series, but once the
+    flag lookup exists every follower set is independent
+    (:func:`_sharded_follower_pass`), so ``kernel_jobs`` applies there.
+    Walk mode (shared skeleton buffer) is always serial.
+    """
     start = perf_counter()
+    threads = 1
     if type(policy) in (DipPolicy, DrripPolicy):
         hits, a_fills, b_fills, followers = _leader_pass(
             part, geometry, policy, buf
@@ -1257,13 +1299,23 @@ def _run_partitioned(part: StreamPartition, geometry: CacheGeometry,
         lookup = _make_flag_lookup(positions, flags, part, use_np)
         if profile is not None:
             profile["psel_series"] = perf_counter() - psel_start
-        hits += _follower_pass(part, geometry, policy, buf, lookup, followers)
+        if buf is None and kernel_jobs > 1 and len(followers) > 1:
+            follower_hits, threads = _sharded_follower_pass(
+                part, geometry, policy, lookup, followers, kernel_jobs
+            )
+            hits += follower_hits
+        else:
+            hits += _follower_pass(
+                part, geometry, policy, buf, lookup, followers
+            )
     else:
-        hits = _plain_pass(part, geometry, policy, buf, use_np,
-                           kernel_jobs=kernel_jobs)
+        hits, threads = _plain_pass(part, geometry, policy, buf, use_np,
+                                    kernel_jobs=kernel_jobs)
     if profile is not None:
         profile["set_kernels"] = perf_counter() - start
-    return hits
+        if threads > 1:
+            profile["kernel_threads"] = threads
+    return hits, threads
 
 
 def reconstruct_psel_series(
@@ -1409,7 +1461,7 @@ def reconstruct_setpath_replay(
     )
     policy.bind(geometry)
     buf = _WalkBuf(n)
-    _run_partitioned(part, geometry, policy, buf, use_np, profile=profile)
+    _run_partitioned(part, geometry, policy, buf, use_np, profile=profile)[0]
     return _assemble_walk(buf, stream, geometry, use_np, profile=profile)
 
 
@@ -1430,10 +1482,14 @@ def replay_setpath(
     callbacks in the same order (equivalence-tested per policy). Without
     observers the replay is pure classification (count kernels, no
     skeleton). ``kernel_jobs`` (default from ``REPRO_SIM_KERNEL_JOBS``)
-    shards the count-mode per-set loop of non-dueling policies across that
-    many worker threads — bit-identical to the serial pass, see
-    :func:`_plain_pass`. ``profile``, when a dict, receives per-phase wall
-    times (``partition``, ``set_kernels``, ``psel_series`` for dueling,
+    shards the count-mode per-set loop across that many worker threads —
+    the plain per-set loop for non-dueling policies
+    (:func:`_plain_pass`), the follower phase for DIP/DRRIP once the PSEL
+    series is reconstructed (:func:`_sharded_follower_pass`); both are
+    bit-identical to the serial pass, and the backend provenance records
+    the thread count actually used (``+threadsN``). ``profile``, when a
+    dict, receives per-phase wall times (``partition``, ``set_kernels``,
+    ``psel_series`` for dueling, ``kernel_threads`` when sharded,
     ``assemble``/``reconstruct``/``observer_replay`` with observers).
     """
     start = perf_counter()
@@ -1461,11 +1517,15 @@ def replay_setpath(
             stream.blocks, geometry.num_sets, use_numpy=use_np, profile=profile
         )
         policy.bind(geometry)
-        hits = _run_partitioned(part, geometry, policy, None, use_np,
-                                profile=profile, kernel_jobs=jobs)
+        hits, threads = _run_partitioned(part, geometry, policy, None, use_np,
+                                         profile=profile, kernel_jobs=jobs)
         misses = n - hits
-        if jobs > 1 and tier == REPLAY_SET and geometry.num_sets > 1:
-            backend = f"{backend}+threads{min(jobs, geometry.num_sets)}"
+        if threads > 1:
+            # The *effective* thread count — what the sharded phase really
+            # used — never the requested job count: a cell whose tier
+            # cannot shard (single set, walk mode, too few followers) must
+            # not claim parallelism it did not have.
+            backend = f"{backend}+threads{threads}"
     return LlcSimResult(
         policy=policy.name,
         stream_name=stream.name,

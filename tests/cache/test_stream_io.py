@@ -5,7 +5,14 @@ import struct
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.cache.stream_io import read_llc_stream, write_llc_stream
+import repro.cache.stream_io as stream_io
+from repro.cache.stream_io import (
+    _read_llc_stream_mapped,
+    _read_llc_stream_streamed,
+    read_llc_stream,
+    write_llc_stream,
+)
+from repro.common.npsupport import HAVE_NUMPY
 from repro.common.errors import TraceError
 from repro.trace.io import write_trace
 from repro.trace.trace import Trace
@@ -101,6 +108,92 @@ class TestErrors:
         path.write_bytes(blob[:-4])  # drop the CRC footer entirely
         with pytest.raises(TraceError, match="checksum"):
             read_llc_stream(path)
+
+
+class TestZeroCopyLoads:
+    """The mmap reader and the streamed reader are interchangeable."""
+
+    STREAM = [(i % 4, 0x40 + (i % 3), (i * 7) % 90, i % 5 == 0)
+              for i in range(400)]
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+    def test_mapped_and_streamed_readers_agree(self, tmp_path):
+        stream = make_stream(self.STREAM, name="zc")
+        path = tmp_path / "zc.rllc"
+        write_llc_stream(stream, path)
+        mapped = _read_llc_stream_mapped(path)
+        streamed = _read_llc_stream_streamed(path)
+        assert mapped is not None
+        assert list(mapped) == list(streamed) == list(stream)
+        assert mapped.name == streamed.name == "zc"
+        assert mapped.num_cores == streamed.num_cores == stream.num_cores
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+    def test_plain_load_is_mapped_and_views_the_file(self, tmp_path):
+        import numpy as np
+
+        stream = make_stream(self.STREAM)
+        path = tmp_path / "v.rllc"
+        write_llc_stream(stream, path)
+        loaded = read_llc_stream(path)
+        for column in loaded.columns():
+            assert isinstance(column, np.ndarray)
+            assert column.base is not None  # a view, not a copy
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+    def test_mapped_stream_reserializes_byte_identically(self, tmp_path):
+        stream = make_stream(self.STREAM, name="rt2")
+        original = tmp_path / "a.rllc"
+        rewritten = tmp_path / "b.rllc"
+        write_llc_stream(stream, original)
+        write_llc_stream(read_llc_stream(original), rewritten)
+        assert original.read_bytes() == rewritten.read_bytes()
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+    def test_gzip_takes_streamed_reader(self, tmp_path):
+        import numpy as np
+
+        stream = make_stream(self.STREAM)
+        path = tmp_path / "g.rllc.gz"
+        write_llc_stream(stream, path)
+        loaded = read_llc_stream(path)
+        assert not any(isinstance(c, np.ndarray) for c in loaded.columns())
+        assert list(loaded) == list(stream)
+
+    def test_numpyless_fallback_equivalent(self, tmp_path, monkeypatch):
+        stream = make_stream(self.STREAM, name="nofb")
+        path = tmp_path / "n.rllc"
+        write_llc_stream(stream, path)
+        monkeypatch.setattr(stream_io, "HAVE_NUMPY", False)
+        loaded = read_llc_stream(path)
+        assert list(loaded) == list(stream)
+        assert loaded.num_cores == stream.num_cores
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+    def test_empty_file_falls_back_to_streamed_error(self, tmp_path):
+        # mmap refuses zero-length files; the fallback reader raises the
+        # ordinary truncation error instead of a mapping error.
+        path = tmp_path / "empty.rllc"
+        path.write_bytes(b"")
+        with pytest.raises(TraceError, match="truncated header"):
+            read_llc_stream(path)
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+    def test_mapped_replay_matches_builder_replay(self, tmp_path):
+        # End to end: a replay over ndarray-backed columns must be
+        # indistinguishable from one over the builder's array.array.
+        from repro.common.config import CacheGeometry
+        from repro.sim.multipass import run_policy_on_stream
+
+        stream = make_stream(self.STREAM, name="replay")
+        path = tmp_path / "r.rllc"
+        write_llc_stream(stream, path)
+        loaded = read_llc_stream(path)
+        geometry = CacheGeometry(8 * 4 * 64, 4)
+        for policy in ("lru", "srrip", "ship"):
+            a = run_policy_on_stream(stream, geometry, policy, seed=5)
+            b = run_policy_on_stream(loaded, geometry, policy, seed=5)
+            assert a == b, policy
 
 
 class TestVersionCompatibility:

@@ -35,7 +35,10 @@ EXPECTED_CELLS = {
     "warm_replay_ship",
     "warm_replay_ship_native",
     "warm_replay_ship_scalar",
+    "warm_replay_oracle_native",
+    "warm_replay_oracle_scalar",
     "warm_replay_srrip_sharded",
+    "warm_replay_drrip_sharded",
     "warm_sweep_grid",
     "warm_sweep_grid_percell",
     "probed_disabled",
@@ -178,10 +181,13 @@ class TestHelpers:
         cells = {
             "warm_replay_ship_native": {"min_sec": 1.0},
             "warm_replay_ship_scalar": {"min_sec": 2.5},
+            "warm_replay_oracle_native": {"min_sec": 2.0},
+            "warm_replay_oracle_scalar": {"min_sec": 6.0},
         }
         speedups = nativepath_speedups(cells)
         assert set(speedups) == set(NATIVEPATH_GATE_PAIRS)
         assert speedups["warm_replay_ship_native"] == pytest.approx(2.5)
+        assert speedups["warm_replay_oracle_native"] == pytest.approx(3.0)
 
     def test_nativepath_pairs_are_cells(self):
         from repro.sim.bench import NATIVEPATH_GATE_PAIRS

@@ -290,7 +290,10 @@ class TestKernelJobs:
                 f"+threads{min(jobs, geometry.num_sets)}"
             )
 
-    def test_dueling_stays_serial_and_exact(self):
+    def test_all_leader_dueling_stays_serial_and_exact(self):
+        # At 8 sets every set is a sampling leader (no followers exist),
+        # so there is nothing to shard: the replay must stay serial and
+        # honest — no "+threads" claim for threads that never ran.
         stream = mixed_stream()
         geometry = CacheGeometry(8 * 4 * 64, 4)
         for policy in ("dip", "drrip"):
@@ -300,6 +303,50 @@ class TestKernelJobs:
             )
             assert sharded == serial
             assert "+threads" not in sharded.backend
+
+    DUELING_GEOMETRY = CacheGeometry(128 * 4 * 64, 4)  # 64 followers
+
+    @pytest.mark.parametrize("policy", ("dip", "drrip"))
+    def test_dueling_follower_sharding_bit_identity(self, policy):
+        # With followers present (128 sets -> 64), the follower phase
+        # shards across kernel_jobs threads after the serial leader pass
+        # and PSEL reconstruction; results must match the serial replay
+        # exactly and stamp the thread count that actually ran.
+        stream = mixed_stream(6000, 900)
+        serial = run_policy_on_stream(
+            stream, self.DUELING_GEOMETRY, policy, seed=SEED
+        )
+        assert "+threads" not in serial.backend
+        for jobs in (2, 8):
+            sharded = run_policy_on_stream(
+                stream, self.DUELING_GEOMETRY, policy, seed=SEED,
+                kernel_jobs=jobs,
+            )
+            assert sharded == serial, (policy, jobs)
+            assert sharded.backend.endswith(f"+threads{jobs}")
+
+    def test_dueling_effective_thread_count_is_stamped(self):
+        # Requesting more jobs than there are followers must stamp the
+        # follower count actually sharded over, not the request.
+        stream = mixed_stream(3000, 500)
+        serial = run_policy_on_stream(
+            stream, self.DUELING_GEOMETRY, "drrip", seed=SEED
+        )
+        sharded = run_policy_on_stream(
+            stream, self.DUELING_GEOMETRY, "drrip", seed=SEED,
+            kernel_jobs=200,
+        )
+        assert sharded == serial
+        assert sharded.backend.endswith("+threads64")
+
+    def test_dueling_sharded_profile_records_threads(self):
+        stream = mixed_stream(2000, 400)
+        profile = {}
+        replay_setpath(
+            stream, self.DUELING_GEOMETRY, make_policy("drrip", seed=9),
+            kernel_jobs=2, profile=profile,
+        )
+        assert profile["kernel_threads"] == 2
 
     def test_env_default_shards(self, monkeypatch):
         stream = mixed_stream(2000, 90)
